@@ -1,0 +1,29 @@
+// Experiment V-perf: end-to-end analysis latency per corpus application
+// (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "kernels/table2.hpp"
+
+namespace {
+
+void BM_AnalyzeKernel(benchmark::State& state, const std::string& name) {
+  const auto& k = soap::kernels::kernel_by_name(name);
+  for (auto _ : state) {
+    auto bound = soap::kernels::analyze_kernel(k);
+    benchmark::DoNotOptimize(bound);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const char* name :
+       {"gemm", "cholesky", "jacobi2d", "heat3d", "fdtd2d", "atax",
+        "gemver", "conv", "bert_encoder", "lulesh"}) {
+    benchmark::RegisterBenchmark(("BM_Analyze/" + std::string(name)).c_str(),
+                                 BM_AnalyzeKernel, std::string(name));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared table-printing helpers for the Table 2 reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "kernels/table2.hpp"
+
+namespace soap::bench {
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-22s | %-38s | %-38s | %-34s | %s\n", "kernel",
+              "SOAP bound (this implementation)", "paper bound (Table 2)",
+              "prior state of the art", "improv.");
+  std::printf("%s\n", std::string(150, '-').c_str());
+}
+
+inline void print_row(const kernels::KernelEntry& k) {
+  sym::Expr ours = kernels::analyze_kernel(k);
+  bool match = sym::numerically_equal(ours, k.paper_bound);
+  std::printf("%-22s | %-38s | %-38s | %-34s | %s%s\n", k.name.c_str(),
+              ours.str().c_str(), k.paper_bound.str().c_str(), k.sota.c_str(),
+              k.improvement.c_str(), match ? "" : "  [differs: see notes]");
+  if (!match && !k.notes.empty()) {
+    std::printf("%-22s |   note: %s\n", "", k.notes.c_str());
+  }
+}
+
+inline int run_category(const char* title, const std::string& category) {
+  print_header(title);
+  int rows = 0;
+  for (const auto& k : kernels::table2_kernels()) {
+    if (k.category != category) continue;
+    print_row(k);
+    ++rows;
+  }
+  std::printf("%d applications analyzed.\n", rows);
+  return 0;
+}
+
+}  // namespace soap::bench

@@ -1,0 +1,51 @@
+// Experiment V-scale: analysis cost vs program size (the paper reports its
+// approach scales to ~35 statements).  google-benchmark over synthetic
+// statement chains.
+#include <benchmark/benchmark.h>
+
+#include "frontend/lower.hpp"
+#include "sdg/multi_statement.hpp"
+#include "sdg/subgraph.hpp"
+
+namespace {
+
+soap::Program chain_program(int statements) {
+  std::string src;
+  std::string prev = "a0";
+  for (int i = 1; i <= statements; ++i) {
+    std::string cur = "a" + std::to_string(i);
+    src += "for i in range(N):\n  for j in range(N):\n    " + cur +
+           "[i,j] = " + prev + "[i,j]\n";
+    prev = cur;
+  }
+  return soap::frontend::parse_program(src);
+}
+
+void BM_SdgAnalysisChain(benchmark::State& state) {
+  soap::Program p = chain_program(static_cast<int>(state.range(0)));
+  soap::sdg::SdgOptions opt;
+  opt.max_subgraph_size = 3;
+  for (auto _ : state) {
+    auto b = soap::sdg::multi_statement_bound(p, opt);
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["statements"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SdgAnalysisChain)->Arg(5)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_SubgraphEnumeration(benchmark::State& state) {
+  soap::Program p = chain_program(static_cast<int>(state.range(0)));
+  soap::sdg::Sdg g = soap::sdg::Sdg::build(p);
+  std::size_t count = 0;
+  for (auto _ : state) {
+    auto subs = soap::sdg::enumerate_subgraphs(g, 3);
+    count = subs.size();
+    benchmark::DoNotOptimize(subs);
+  }
+  state.counters["subgraphs"] = static_cast<double>(count);
+}
+BENCHMARK(BM_SubgraphEnumeration)->Arg(10)->Arg(20)->Arg(35);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Experiment T2-nn: the deep learning block of Table 2, plus the conditional
+// convolution intensities of Example 6 (Section 5.3).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bounds/single_statement.hpp"
+#include "frontend/lower.hpp"
+
+namespace {
+
+// Example 6: sigma = 1 maximal overlap vs sigma >= kernel injective case.
+void conv_conditional_intensities() {
+  using namespace soap;
+  std::printf("\nExample 6 (direct convolution, conditional intensity):\n");
+  auto p = frontend::parse_program(R"(
+for b in range(B):
+  for c in range(Cin):
+    for k in range(Cout):
+      for h in range(Hout):
+        for w in range(Wout):
+          for r in range(Hker):
+            for s in range(Wker):
+              Out[k,h,w,b] += Img[r + h, s + w, c, b] * F[k,r,s,c]
+)");
+  Statement injective = p.statements[0];
+  auto case1 = bounds::single_statement_bound(injective);
+  Statement overlap = p.statements[0];
+  overlap.max_overlap_dims["Img"] = {0, 1};
+  auto case2 = bounds::single_statement_bound(overlap);
+  if (case1) {
+    std::printf("  case (1) sigma >= kernel (injective):  rho = %s,  Q >= %s\n",
+                case1->rho.str().c_str(), case1->Q_leading.str().c_str());
+  }
+  if (case2) {
+    std::printf("  case (2) sigma = 1 (maximal overlap):  rho = %s,  Q >= %s\n",
+                case2->rho.str().c_str(), case2->Q_leading.str().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  int r = soap::bench::run_category(
+      "Table 2 / Neural networks: I/O lower bounds", "neural");
+  conv_conditional_intensities();
+  return r;
+}

@@ -1,0 +1,8 @@
+// Experiment T2-poly: the Polybench block of Table 2 (30 kernels).
+#include "bench_common.hpp"
+
+int main() {
+  return soap::bench::run_category(
+      "Table 2 / Polybench: I/O lower bounds (leading-order terms)",
+      "polybench");
+}

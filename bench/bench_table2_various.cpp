@@ -1,0 +1,8 @@
+// Experiment T2-var: LULESH, COSMO horizontal diffusion, vertical advection.
+#include "bench_common.hpp"
+
+int main() {
+  return soap::bench::run_category(
+      "Table 2 / Various: first I/O lower bounds beyond the polyhedral model",
+      "various");
+}

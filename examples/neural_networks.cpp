@@ -1,0 +1,26 @@
+// Deep learning bounds: the first I/O lower bounds for entire networks
+// (Section 7.1): per-operator and network-level results.
+#include <cstdio>
+
+#include "kernels/table2.hpp"
+
+int main() {
+  using namespace soap;
+  std::printf("I/O lower bounds for deep learning workloads:\n\n");
+  for (const char* name :
+       {"conv", "softmax", "mlp", "lenet5", "bert_encoder"}) {
+    const auto& k = kernels::kernel_by_name(name);
+    sym::Expr bound = kernels::analyze_kernel(k);
+    std::printf("%-14s Q >= %s\n", name, bound.str().c_str());
+    if (!k.notes.empty()) std::printf("%-14s (%s)\n", "", k.notes.c_str());
+  }
+  // Concrete numbers for a BERT-base layer: L=512, H=12, P=64, E=768, B=8.
+  const auto& bert = kernels::kernel_by_name("bert_encoder");
+  sym::Expr q = kernels::analyze_kernel(bert);
+  double words = q.eval({{"B", 8}, {"L", 512}, {"H", 12}, {"P", 64},
+                         {"E", 768}, {"S", 1 << 20}});
+  std::printf("\nBERT-base encoder layer (B=8, L=512, S=2^20 words):\n"
+              "  at least %.3g words moved between cache and memory\n",
+              words);
+  return 0;
+}

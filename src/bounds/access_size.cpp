@@ -1,0 +1,416 @@
+#include "bounds/access_size.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace soap::bounds {
+
+namespace {
+
+using sym::Expr;
+
+Expr extent_expr(const DimSpec& d) {
+  if (d.vars.empty()) return Expr(1);
+  if (d.mode == DimSpec::Mode::kMax) {
+    std::vector<Expr> args;
+    args.reserve(d.vars.size());
+    for (const std::string& v : d.vars) args.push_back(Expr::symbol(v));
+    return sym::max(std::move(args));
+  }
+  Expr p(1);
+  for (const std::string& v : d.vars) p = p * Expr::symbol(v);
+  return p;
+}
+
+double extent_eval(const DimSpec& d,
+                   const std::map<std::string, double>& tiles) {
+  if (d.vars.empty()) return 1.0;
+  double out = d.mode == DimSpec::Mode::kMax ? 0.0 : 1.0;
+  for (const std::string& v : d.vars) {
+    auto it = tiles.find(v);
+    if (it == tiles.end())
+      throw std::out_of_range("AccessTerm::eval: unbound tile " + v);
+    if (d.mode == DimSpec::Mode::kMax) {
+      out = std::max(out, it->second);
+    } else {
+      out *= it->second;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Expr AccessTerm::size_expr() const {
+  Expr prod(1);
+  Expr prod_minus(1);
+  bool any_offset = false;
+  for (const DimSpec& d : dims) {
+    Expr e = extent_expr(d);
+    prod = prod * e;
+    prod_minus = prod_minus * (e - Expr(d.offsets));
+    if (d.offsets > 0) any_offset = true;
+  }
+  switch (kind) {
+    case TermKind::kPlain:
+      if (!any_offset) return prod;
+      return Expr(2) * prod - prod_minus;
+    case TermKind::kInputOutput:
+      return prod - prod_minus;
+    case TermKind::kVersioned:
+    case TermKind::kOutput:
+      return prod;
+  }
+  throw std::logic_error("AccessTerm::size_expr: bad kind");
+}
+
+double AccessTerm::eval(const std::map<std::string, double>& tiles) const {
+  // prod(e_i) - prod(e_i - c_i) suffers catastrophic cancellation for large
+  // tiles; evaluate it by inclusion-exclusion instead:
+  //   prod(e) - prod(e - c) = sum_{T != 0} (-1)^{|T|+1} prod_{i in T} c_i *
+  //                                                prod_{i not in T} e_i,
+  // whose summands have the magnitude of the result, not of prod(e).
+  std::vector<double> e(dims.size());
+  std::vector<double> c(dims.size());
+  double prod = 1.0;
+  bool any_offset = false;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    e[i] = extent_eval(dims[i], tiles);
+    c[i] = static_cast<double>(dims[i].offsets);
+    prod *= e[i];
+    if (dims[i].offsets > 0) any_offset = true;
+  }
+  auto difference = [&]() {
+    const std::size_t n = dims.size();
+    if (n > 20) throw std::logic_error("AccessTerm::eval: too many dims");
+    double total = 0.0;
+    for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+      double term = 1.0;
+      int bits = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          term *= c[i];
+          ++bits;
+        } else {
+          term *= e[i];
+        }
+      }
+      total += (bits % 2 == 1) ? term : -term;
+    }
+    return total;
+  };
+  switch (kind) {
+    case TermKind::kPlain:
+      return any_offset ? prod + difference() : prod;
+    case TermKind::kInputOutput:
+      return difference();
+    case TermKind::kVersioned:
+    case TermKind::kOutput:
+      return prod;
+  }
+  throw std::logic_error("AccessTerm::eval: bad kind");
+}
+
+std::vector<std::vector<std::string>> AccessTerm::lp_monomials() const {
+  // Per-dimension variable-set choices: a kProduct dimension contributes all
+  // of its variables, a kMax dimension contributes one variable at a time
+  // (the constraint must hold for every choice since max(x,y) >= each).
+  std::vector<std::vector<std::vector<std::string>>> choices;
+  for (const DimSpec& d : dims) {
+    if (d.vars.empty()) {
+      choices.push_back({{}});
+    } else if (d.mode == DimSpec::Mode::kMax) {
+      std::vector<std::vector<std::string>> c;
+      for (const std::string& v : d.vars) c.push_back({v});
+      choices.push_back(std::move(c));
+    } else {
+      choices.push_back({d.vars});
+    }
+  }
+  // Which dimension subsets form dominant monomials?
+  //   kPlain / kVersioned / kOutput: the full product.
+  //   kInputOutput: prod(e) - prod(e - c) has no full-product term; the
+  //   dominant monomials drop exactly one offset dimension each.
+  std::vector<std::vector<std::size_t>> dim_subsets;
+  const std::size_t n = dims.size();
+  if (kind == TermKind::kInputOutput) {
+    for (std::size_t skip = 0; skip < n; ++skip) {
+      if (dims[skip].offsets <= 0) continue;
+      std::vector<std::size_t> subset;
+      for (std::size_t i = 0; i < n; ++i)
+        if (i != skip) subset.push_back(i);
+      dim_subsets.push_back(std::move(subset));
+    }
+    if (dim_subsets.empty()) {
+      throw std::logic_error(
+          "AccessTerm: input-output term without any offset dimension "
+          "(the version-dimension projection should have added one)");
+    }
+  } else {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    dim_subsets.push_back(std::move(all));
+  }
+  // Expand the kMax choices for every subset.
+  std::vector<std::vector<std::string>> out;
+  for (const auto& subset : dim_subsets) {
+    std::vector<std::set<std::string>> partial = {{}};
+    for (std::size_t i : subset) {
+      std::vector<std::set<std::string>> next;
+      for (const auto& p : partial) {
+        for (const auto& choice : choices[i]) {
+          std::set<std::string> q = p;
+          q.insert(choice.begin(), choice.end());
+          next.push_back(std::move(q));
+        }
+      }
+      partial = std::move(next);
+    }
+    for (const auto& p : partial) out.emplace_back(p.begin(), p.end());
+  }
+  // Deduplicate.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool AccessTerm::has_max_dims() const {
+  return std::any_of(dims.begin(), dims.end(), [](const DimSpec& d) {
+    return d.mode == DimSpec::Mode::kMax && d.vars.size() > 1;
+  });
+}
+
+std::vector<AccessTerm::SignedMonomial> AccessTerm::signed_monomials() const {
+  if (has_max_dims())
+    throw std::logic_error(
+        "AccessTerm::signed_monomials: kMax dimensions not expandable");
+  const std::size_t n = dims.size();
+  if (n > 20) throw std::logic_error("signed_monomials: too many dims");
+  auto dim_monomial = [&](std::size_t i) {
+    std::map<std::string, int> m;
+    for (const std::string& v : dims[i].vars) m[v] += 1;
+    return m;
+  };
+  std::vector<SignedMonomial> out;
+  auto add = [&out](std::map<std::string, int> degrees, Rational coeff) {
+    for (SignedMonomial& m : out) {
+      if (m.degrees == degrees) {
+        m.coeff += coeff;
+        return;
+      }
+    }
+    out.push_back({std::move(degrees), coeff});
+  };
+  auto full_product = [&]() {
+    std::map<std::string, int> m;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto& [v, d] : dim_monomial(i)) m[v] += d;
+    }
+    return m;
+  };
+  // difference() = prod(e) - prod(e - c), expanded by inclusion-exclusion.
+  auto add_difference = [&]() {
+    for (std::size_t mask = 1; mask < (1u << n); ++mask) {
+      Rational coeff = 1;
+      std::map<std::string, int> degs;
+      int bits = 0;
+      bool zero = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          if (dims[i].offsets == 0) {
+            zero = true;
+            break;
+          }
+          coeff *= Rational(dims[i].offsets);
+          ++bits;
+        } else {
+          for (const auto& [v, d] : dim_monomial(i)) degs[v] += d;
+        }
+      }
+      if (zero) continue;
+      add(std::move(degs), bits % 2 == 1 ? coeff : -coeff);
+    }
+  };
+  bool any_offset = std::any_of(dims.begin(), dims.end(), [](const DimSpec& d) {
+    return d.offsets > 0;
+  });
+  switch (kind) {
+    case TermKind::kPlain:
+      add(full_product(), Rational(1));
+      if (any_offset) add_difference();
+      break;
+    case TermKind::kInputOutput:
+      add_difference();
+      break;
+    case TermKind::kVersioned:
+    case TermKind::kOutput:
+      add(full_product(), Rational(1));
+      break;
+  }
+  // Drop cancelled monomials.
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const SignedMonomial& m) {
+                             return m.coeff.is_zero();
+                           }),
+            out.end());
+  return out;
+}
+
+std::string AccessTerm::str() const {
+  std::ostringstream os;
+  os << array << ": |A| = " << size_expr().str();
+  switch (kind) {
+    case TermKind::kPlain:
+      os << "  (Lemma 3)";
+      break;
+    case TermKind::kInputOutput:
+      os << "  (Corollary 1)";
+      break;
+    case TermKind::kVersioned:
+      os << "  (version dimension)";
+      break;
+    case TermKind::kOutput:
+      os << "  (output / minimum set)";
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+DimSpec::Mode dim_mode(const Statement& st, const std::string& array,
+                       int dim) {
+  auto it = st.max_overlap_dims.find(array);
+  if (it == st.max_overlap_dims.end()) return DimSpec::Mode::kProduct;
+  bool listed = std::find(it->second.begin(), it->second.end(), dim) !=
+                it->second.end();
+  return listed ? DimSpec::Mode::kMax : DimSpec::Mode::kProduct;
+}
+
+std::vector<DimSpec> dims_from_access(const Statement& st,
+                                      const ArrayAccess& acc,
+                                      const std::vector<long long>& offsets) {
+  std::vector<DimSpec> out;
+  const AccessComponent& base = acc.components[0];
+  // A variable indexing several dimensions (diagonal accesses like A[k,k])
+  // contributes its tile extent only once: the number of distinct index
+  // tuples is the product over *distinct* variables.
+  std::set<std::string> seen;
+  for (std::size_t d = 0; d < base.index.size(); ++d) {
+    DimSpec spec;
+    spec.mode = dim_mode(st, acc.array, static_cast<int>(d));
+    for (const std::string& v : base.index[d].variables()) {
+      if (st.domain.has_variable(v) && seen.insert(v).second) {
+        spec.vars.push_back(v);
+      }
+    }
+    spec.offsets = d < offsets.size() ? offsets[d] : 0;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+// Variables of the statement's domain not appearing anywhere in the access.
+std::vector<std::string> free_variables(const Statement& st,
+                                        const ArrayAccess& acc) {
+  std::set<std::string> used;
+  for (const AccessComponent& c : acc.components) {
+    for (const Affine& idx : c.index) {
+      for (const std::string& v : idx.variables()) used.insert(v);
+    }
+  }
+  std::vector<std::string> out;
+  for (const std::string& v : st.domain.variables()) {
+    if (!used.count(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatementAnalysis analyze_statement(const Statement& st) {
+  StatementAnalysis out;
+  out.tile_vars = st.domain.variables();
+  sym::Polynomial card = st.domain.cardinality();
+  out.domain_size = card.to_expr();
+  out.domain_size_leading = card.leading_terms().to_expr();
+
+  for (const ArrayAccess& acc : st.inputs) {
+    AccessTerm term;
+    term.array = acc.array;
+    const bool is_io = acc.array == st.output.array;
+
+    if (!is_io) {
+      auto trans = simple_overlap_translations(acc);
+      if (trans) {
+        term.kind = TermKind::kPlain;
+        term.dims = dims_from_access(st, acc, access_offset_counts(*trans));
+      } else {
+        // Conservative fallback: a single component already needs the full
+        // product (Lemma 2), which is a valid lower bound on |A|.
+        term.kind = TermKind::kPlain;
+        term.dims = dims_from_access(st, acc, {});
+      }
+      out.input_terms.push_back(std::move(term));
+      continue;
+    }
+
+    // Input-output overlap (Section 4.3 + Section 5.2).
+    ArrayAccess joint = acc;
+    for (const AccessComponent& c : st.output.components)
+      joint.components.push_back(c);
+    auto trans = simple_overlap_translations(joint);
+    if (!trans) {
+      term.kind = TermKind::kPlain;
+      term.dims = dims_from_access(st, acc, {});
+      out.input_terms.push_back(std::move(term));
+      continue;
+    }
+    term.kind = TermKind::kInputOutput;
+    term.dims = dims_from_access(st, joint, access_offset_counts(*trans));
+
+    // Section 5.2: identical input and output access functions require the
+    // version dimension (offset 1, extent = the free iteration variables).
+    bool identical = false;
+    for (const AccessComponent& in : acc.components) {
+      for (const AccessComponent& o : st.output.components) {
+        if (in == o) identical = true;
+      }
+    }
+    if (identical) {
+      // Section 5.2: only meaningful when some iteration variable is free of
+      // the access (it then versions the element).  With no free variables
+      // each element has a single in-tile version and the identical read is
+      // internal.
+      std::vector<std::string> free_vars = free_variables(st, joint);
+      if (!free_vars.empty()) {
+        DimSpec version;
+        version.mode = DimSpec::Mode::kProduct;
+        version.vars = std::move(free_vars);
+        version.offsets = 1;
+        term.dims.push_back(std::move(version));
+      }
+    }
+    // An input-output term with no offset dimension at all counts the plain
+    // first-version loads (the subtracted product would cancel exactly).
+    bool any_offset = std::any_of(
+        term.dims.begin(), term.dims.end(),
+        [](const DimSpec& d) { return d.offsets > 0; });
+    if (!any_offset) term.kind = TermKind::kVersioned;
+    out.input_terms.push_back(std::move(term));
+  }
+
+  // Pure output (not read back): minimum-set constraint.
+  if (!st.updates_output() && !st.output.components.empty()) {
+    AccessTerm term;
+    term.array = st.output.array;
+    term.kind = TermKind::kOutput;
+    term.dims = dims_from_access(st, st.output, {});
+    out.output_terms.push_back(std::move(term));
+  }
+  return out;
+}
+
+}  // namespace soap::bounds

@@ -1,0 +1,620 @@
+#include "bounds/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "linalg/simplex.hpp"
+
+namespace soap::bounds {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Numeric solve
+// ---------------------------------------------------------------------------
+
+struct Evaluator {
+  const OptimizationProblem& problem;
+  std::vector<ObjectiveMonomial> objective;
+
+  explicit Evaluator(const OptimizationProblem& p)
+      : problem(p), objective(p.effective_objective()) {}
+
+  double objective_value(const std::map<std::string, double>& tiles) const {
+    double f = 0.0;
+    for (const ObjectiveMonomial& m : objective) {
+      double term = m.coeff.to_double();
+      for (const auto& [v, d] : m.degrees) {
+        term *= std::pow(tiles.at(v), d);
+      }
+      f += term;
+    }
+    return f;
+  }
+
+  // Worst constraint utilization g_k(x)/X (>1 means infeasible).
+  double utilization(const std::map<std::string, double>& tiles,
+                     double X) const {
+    double sum = 0.0;
+    for (const AccessTerm& t : problem.sum_terms) sum += t.eval(tiles);
+    double u = sum / X;
+    for (const AccessTerm& t : problem.single_terms) {
+      u = std::max(u, t.eval(tiles) / X);
+    }
+    return u;
+  }
+};
+
+// Largest uniform multiplicative scale m such that scaling every tile by m
+// (clamped below at 1) stays feasible; constraint terms are monotone
+// non-decreasing in every tile so feasibility is monotone in m.
+double feasible_scale(const Evaluator& ev, const std::vector<double>& x,
+                      const std::vector<std::string>& vars, double X) {
+  auto feasible = [&](double m) {
+    std::map<std::string, double> tiles;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      tiles[vars[i]] = std::max(1.0, m * x[i]);
+    }
+    return ev.utilization(tiles, X) <= 1.0;
+  };
+  if (!feasible(1e-12)) return 0.0;
+  double lo = 1e-12, hi = 1.0;
+  while (feasible(hi) && hi < 1e18) {
+    lo = hi;
+    hi *= 4.0;
+  }
+  for (int it = 0; it < 200; ++it) {
+    double mid = 0.5 * (lo + hi);
+    (feasible(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+// Projected objective: log chi after scaling onto the feasible boundary.
+double projected_objective(const Evaluator& ev, const std::vector<double>& u,
+                           const std::vector<std::string>& vars, double X,
+                           std::vector<double>* tiles_out = nullptr) {
+  std::vector<double> x(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) x[i] = std::exp(u[i]);
+  double m = feasible_scale(ev, x, vars, X);
+  if (m == 0.0) return -1e300;
+  std::map<std::string, double> tiles;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double xi = std::max(1.0, m * x[i]);
+    tiles[vars[i]] = xi;
+    if (tiles_out) (*tiles_out)[i] = xi;
+  }
+  return std::log(ev.objective_value(tiles));
+}
+
+// Nelder-Mead in log-space (maximization); dimensions are tiny (<= ~10).
+std::vector<double> nelder_mead(const Evaluator& ev,
+                                const std::vector<std::string>& vars, double X,
+                                std::vector<double> start, int iters) {
+  const std::size_t n = start.size();
+  auto f = [&](const std::vector<double>& u) {
+    return projected_objective(ev, u, vars, X);
+  };
+  std::vector<std::vector<double>> simplex(n + 1, start);
+  for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += 0.7;
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) fv[i] = f(simplex[i]);
+
+  for (int it = 0; it < iters; ++it) {
+    std::vector<std::size_t> idx(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] > fv[b]; });
+    std::vector<std::vector<double>> sx(n + 1);
+    std::vector<double> sf(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) {
+      sx[i] = simplex[idx[i]];
+      sf[i] = fv[idx[i]];
+    }
+    simplex = std::move(sx);
+    fv = std::move(sf);
+    if (std::fabs(fv[0] - fv[n]) < 1e-13 * (1.0 + std::fabs(fv[0]))) break;
+
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j] / n;
+    }
+    auto combine = [&](double t) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        p[j] = centroid[j] + t * (simplex[n][j] - centroid[j]);
+      }
+      return p;
+    };
+    std::vector<double> refl = combine(-1.0);
+    double fr = f(refl);
+    if (fr > fv[0]) {
+      std::vector<double> expd = combine(-2.0);
+      double fe = f(expd);
+      if (fe > fr) {
+        simplex[n] = expd;
+        fv[n] = fe;
+      } else {
+        simplex[n] = refl;
+        fv[n] = fr;
+      }
+    } else if (fr > fv[n - 1]) {
+      simplex[n] = refl;
+      fv[n] = fr;
+    } else {
+      std::vector<double> ctr = combine(0.5);
+      double fc = f(ctr);
+      if (fc > fv[n]) {
+        simplex[n] = ctr;
+        fv[n] = fc;
+      } else {
+        for (std::size_t i = 1; i <= n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            simplex[i][j] =
+                simplex[0][j] + 0.5 * (simplex[i][j] - simplex[0][j]);
+          }
+          fv[i] = f(simplex[i]);
+        }
+      }
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (fv[i] > fv[best]) best = i;
+  }
+  return simplex[best];
+}
+
+// KKT polish on the sum-constraint boundary: at an interior optimum,
+// r_v = (dF/du_v)/F / (dg/du_v) is equal across variables; iterate
+// multiplicative equalization with projection back onto g = X.  Variables
+// clamped at x >= 1 stay clamped.  Only runs when no minimum-set constraint
+// is active.
+void kkt_polish(const Evaluator& ev, const OptimizationProblem& p, double X,
+                std::vector<double>* u) {
+  const std::size_t n = u->size();
+  auto tiles_of = [&](const std::vector<double>& uu) {
+    std::map<std::string, double> tiles;
+    for (std::size_t i = 0; i < n; ++i) {
+      tiles[p.vars[i]] = std::exp(std::max(0.0, uu[i]));
+    }
+    return tiles;
+  };
+  auto sum_g = [&](const std::vector<double>& uu) {
+    auto tiles = tiles_of(uu);
+    double s = 0.0;
+    for (const AccessTerm& t : p.sum_terms) s += t.eval(tiles);
+    return s;
+  };
+  auto singles_ok = [&](const std::vector<double>& uu) {
+    auto tiles = tiles_of(uu);
+    for (const AccessTerm& t : p.single_terms) {
+      if (t.eval(tiles) > X * (1.0 + 1e-9)) return false;
+    }
+    return true;
+  };
+  auto project = [&](std::vector<double>* uu) {
+    double lo = -60.0, hi = 60.0;
+    for (int it = 0; it < 100; ++it) {
+      double mid = 0.5 * (lo + hi);
+      std::vector<double> shifted = *uu;
+      for (double& v : shifted) v += mid;
+      (sum_g(shifted) <= X ? lo : hi) = mid;
+    }
+    for (double& v : *uu) v = std::max(0.0, v + lo);
+  };
+
+  std::vector<double> w = *u;
+  project(&w);
+  const double eps = 1e-6;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<double> r(n);
+    double mean_log = 0.0;
+    int active = 0;
+    double f0 = std::exp(projected_objective(ev, w, p.vars, X));
+    (void)f0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> up = w, dn = w;
+      up[i] += eps;
+      dn[i] -= eps;
+      double dg = (sum_g(up) - sum_g(dn)) / (2 * eps);
+      double df = (ev.objective_value(tiles_of(up)) -
+                   ev.objective_value(tiles_of(dn))) /
+                  (2 * eps);
+      if (dg <= 0 || df <= 0) {
+        r[i] = 0;
+        continue;
+      }
+      r[i] = df / dg;
+      if (w[i] > 1e-12) {
+        mean_log += std::log(r[i]);
+        ++active;
+      }
+    }
+    if (active == 0) break;
+    mean_log /= active;
+    double step = iter < 100 ? 0.4 : 0.8;
+    bool moved = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (r[i] <= 0) continue;
+      double delta = step * (std::log(r[i]) - mean_log);
+      if (w[i] <= 1e-12 && delta < 0) continue;
+      w[i] = std::max(0.0, w[i] + delta);
+      if (std::fabs(delta) > 1e-13) moved = true;
+    }
+    project(&w);
+    if (!moved) break;
+  }
+  if (!singles_ok(w)) return;
+  double before = projected_objective(ev, *u, p.vars, X);
+  double after = projected_objective(ev, w, p.vars, X);
+  if (after >= before - 1e-12) *u = w;
+}
+
+// ---------------------------------------------------------------------------
+// Exponent LP
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<std::string>> all_monomials(
+    const OptimizationProblem& p) {
+  std::vector<std::vector<std::string>> out;
+  for (const AccessTerm& t : p.sum_terms) {
+    auto ms = t.lp_monomials();
+    out.insert(out.end(), ms.begin(), ms.end());
+  }
+  for (const AccessTerm& t : p.single_terms) {
+    auto ms = t.lp_monomials();
+    out.insert(out.end(), ms.begin(), ms.end());
+  }
+  return out;
+}
+
+NumericOptimum solve_at(const OptimizationProblem& problem, double X,
+                        const std::vector<std::vector<double>>& extra_seeds) {
+  Evaluator ev(problem);
+  const std::size_t n = problem.vars.size();
+
+  double best_obj = -1e300;
+  std::vector<double> best_u(n, 0.0);
+  std::vector<std::vector<double>> seeds = extra_seeds;
+  seeds.emplace_back(n, std::log(X) / (2.0 * std::max<std::size_t>(n, 1)));
+  {
+    std::vector<double> staggered(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      staggered[i] = std::log(X) * (0.15 + 0.1 * static_cast<double>(i % 3));
+    }
+    seeds.push_back(std::move(staggered));
+  }
+  for (auto& seed : seeds) {
+    std::vector<double> u = nelder_mead(ev, problem.vars, X, seed, 3000);
+    kkt_polish(ev, problem, X, &u);
+    double obj = projected_objective(ev, u, problem.vars, X);
+    if (obj > best_obj) {
+      best_obj = obj;
+      best_u = u;
+    }
+  }
+
+  NumericOptimum out;
+  std::vector<double> tiles(n);
+  double logf = projected_objective(ev, best_u, problem.vars, X, &tiles);
+  for (std::size_t i = 0; i < n; ++i) out.tiles[problem.vars[i]] = tiles[i];
+  out.chi = std::exp(logf);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Asymptotic geometric program for the exact constant
+// ---------------------------------------------------------------------------
+
+// Substituting x_v = kappa_v * X^{a_v} with the exact LP exponents a_v turns
+// the dominator budget into X * h(kappa) with h a posynomial over the
+// LP-degree-1 constraint monomials, and the objective into X^alpha * F(kappa)
+// over the LP-degree-alpha objective monomials.  max F s.t. h = 1 is solved
+// to machine precision by multiplicative KKT equalization with analytic
+// gradients.  Returns nullopt when the structure is outside this form; the
+// caller then keeps the generic numeric fit.
+std::optional<double> asymptotic_constant(
+    const OptimizationProblem& problem,
+    const std::map<std::string, Rational>& a, const Rational& alpha,
+    std::map<std::string, double>* kappa_out) {
+  const std::size_t n = problem.vars.size();
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < n; ++i) index[problem.vars[i]] = i;
+
+  struct Mono {
+    std::vector<std::pair<std::size_t, int>> degs;
+    double coeff;
+  };
+  std::vector<Mono> constraint_monos;
+  for (const AccessTerm& t : problem.sum_terms) {
+    if (t.has_max_dims()) return std::nullopt;
+    for (const auto& sm : t.signed_monomials()) {
+      Rational lp_degree = 0;
+      for (const auto& [v, d] : sm.degrees) {
+        auto it = a.find(v);
+        if (it == a.end()) return std::nullopt;
+        lp_degree += it->second * Rational(d);
+      }
+      if (lp_degree != Rational(1)) {
+        if (lp_degree > Rational(1)) return std::nullopt;
+        continue;
+      }
+      if (!sm.coeff.is_positive()) return std::nullopt;
+      Mono m;
+      m.coeff = sm.coeff.to_double();
+      for (const auto& [v, d] : sm.degrees) m.degs.emplace_back(index[v], d);
+      constraint_monos.push_back(std::move(m));
+    }
+  }
+  if (constraint_monos.empty()) return std::nullopt;
+  for (const AccessTerm& t : problem.single_terms) {
+    if (t.has_max_dims()) return std::nullopt;
+    for (const auto& m : t.lp_monomials()) {
+      Rational deg = 0;
+      for (const std::string& v : m) deg += a.at(v);
+      if (deg == Rational(1)) return std::nullopt;  // potentially active
+    }
+  }
+  std::vector<Mono> objective_monos;
+  for (const ObjectiveMonomial& om : problem.effective_objective()) {
+    Rational deg = 0;
+    for (const auto& [v, d] : om.degrees) deg += a.at(v) * Rational(d);
+    if (deg > alpha) return std::nullopt;
+    if (deg != alpha) continue;
+    if (!om.coeff.is_positive()) return std::nullopt;
+    Mono m;
+    m.coeff = om.coeff.to_double();
+    for (const auto& [v, d] : om.degrees) m.degs.emplace_back(index[v], d);
+    objective_monos.push_back(std::move(m));
+  }
+  if (objective_monos.empty()) return std::nullopt;
+
+  // Variables appearing nowhere relevant must have zero exponent (their
+  // kappa is clamped to 1; nonzero-exponent uncovered vars are a failure).
+  std::vector<bool> relevant(n, false);
+  for (const Mono& m : constraint_monos) {
+    for (const auto& [i, _] : m.degs) relevant[i] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!relevant[i] && !a.at(problem.vars[i]).is_zero()) return std::nullopt;
+  }
+
+  std::vector<double> u(n, 0.0);
+  std::vector<bool> clamped(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clamped[i] = a.at(problem.vars[i]).is_zero();
+  }
+  auto eval_monos = [&](const std::vector<Mono>& monos,
+                        const std::vector<double>& uu,
+                        std::vector<double>* grad) {
+    double total = 0.0;
+    if (grad) grad->assign(n, 0.0);
+    for (const Mono& m : monos) {
+      double val = m.coeff;
+      for (const auto& [i, d] : m.degs) val *= std::exp(d * uu[i]);
+      total += val;
+      if (grad) {
+        for (const auto& [i, d] : m.degs) (*grad)[i] += val * d;
+      }
+    }
+    return total;
+  };
+  auto project = [&](std::vector<double>* uu) {
+    double lo = -80.0, hi = 80.0;
+    for (int it = 0; it < 200; ++it) {
+      double mid = 0.5 * (lo + hi);
+      std::vector<double> shifted = *uu;
+      for (std::size_t i = 0; i < n; ++i) {
+        shifted[i] += mid;
+        if (clamped[i]) shifted[i] = std::max(0.0, shifted[i]);
+      }
+      (eval_monos(constraint_monos, shifted, nullptr) <= 1.0 ? lo : hi) = mid;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      (*uu)[i] += lo;
+      if (clamped[i]) (*uu)[i] = std::max(0.0, (*uu)[i]);
+    }
+  };
+  project(&u);
+  for (int iter = 0; iter < 8000; ++iter) {
+    std::vector<double> gh, gf;
+    eval_monos(constraint_monos, u, &gh);
+    double f = eval_monos(objective_monos, u, &gf);
+    double mean_log = 0.0;
+    int active = 0;
+    std::vector<double> r(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!relevant[i]) continue;
+      if (gh[i] <= 0) continue;
+      // r_i = (dF/du_i / F) / (dh/du_i); equal across free vars at optimum.
+      r[i] = (gf[i] / std::max(1e-300, f)) / gh[i];
+      if (r[i] <= 0) continue;
+      if (clamped[i] && u[i] <= 1e-15) continue;
+      mean_log += std::log(r[i]);
+      ++active;
+    }
+    if (active == 0) break;
+    mean_log /= active;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!relevant[i] || r[i] <= 0) continue;
+      double delta = 0.4 * (std::log(r[i]) - mean_log);
+      if (clamped[i] && u[i] <= 1e-15 && delta < 0) continue;
+      u[i] += delta;
+      if (clamped[i]) u[i] = std::max(0.0, u[i]);
+      worst = std::max(worst, std::fabs(delta));
+    }
+    project(&u);
+    if (worst < 1e-15) break;
+  }
+  double c = eval_monos(objective_monos, u, nullptr);
+  if (kappa_out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      (*kappa_out)[problem.vars[i]] = std::exp(u[i]);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+NumericOptimum maximize_subcomputation(const OptimizationProblem& problem,
+                                       double X) {
+  return solve_at(problem, X, {});
+}
+
+std::optional<ChiForm> derive_chi(const OptimizationProblem& problem) {
+  const std::size_t n = problem.vars.size();
+  if (n == 0) return std::nullopt;
+
+  // --- exact exponent LP ---
+  auto monomials = all_monomials(problem);
+  {
+    std::set<std::string> covered;
+    for (const auto& m : monomials) covered.insert(m.begin(), m.end());
+    for (const std::string& v : problem.vars) {
+      if (!covered.count(v)) return std::nullopt;  // unbounded reuse
+    }
+  }
+  std::vector<std::vector<Rational>> constraint_rows;
+  for (const auto& m : monomials) {
+    std::vector<Rational> row(n, Rational(0));
+    for (const std::string& v : m) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (problem.vars[i] == v) row[i] = Rational(1);
+      }
+    }
+    constraint_rows.push_back(std::move(row));
+  }
+  // alpha = max over objective monomials of the LP value with that monomial
+  // as the objective; keep the exponents of the winner.  Degenerate LPs have
+  // a face of optima (e.g. a_i + a_j = 1 with only the joint constraint
+  // binding); an epsilon penalty on the largest exponent steers the simplex
+  // to the balanced optimum, which is the one the downstream geometric
+  // program needs as an interior starting structure.  alpha itself is
+  // recomputed exactly from the returned vertex, so the perturbation never
+  // contaminates the exponent.
+  ChiForm form;
+  form.alpha = Rational(-1);
+  const Rational eps(1, 4096);
+  for (const ObjectiveMonomial& om : problem.effective_objective()) {
+    LinearProgram lp;
+    // Variables: a_0..a_{n-1}, m (the max-exponent bound).
+    lp.objective.assign(n + 1, Rational(0));
+    for (const auto& [v, d] : om.degrees) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (problem.vars[i] == v) lp.objective[i] = Rational(d);
+      }
+    }
+    lp.objective[n] = -eps;
+    for (const auto& row : constraint_rows) {
+      std::vector<Rational> r = row;
+      r.emplace_back(0);
+      lp.constraints.push_back(std::move(r));
+      lp.rhs.emplace_back(1);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<Rational> r(n + 1, Rational(0));
+      r[i] = 1;
+      r[n] = -1;
+      lp.constraints.push_back(std::move(r));
+      lp.rhs.emplace_back(0);
+    }
+    auto sol = solve_lp(lp);
+    if (!sol) return std::nullopt;
+    Rational alpha_exact = 0;
+    for (const auto& [v, d] : om.degrees) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (problem.vars[i] == v) alpha_exact += Rational(d) * sol->x[i];
+      }
+    }
+    // Guard against the epsilon perturbation trading real objective for
+    // balance: re-solve without it and keep whichever attains more.
+    {
+      LinearProgram pure;
+      pure.objective.assign(n, Rational(0));
+      for (const auto& [v, d] : om.degrees) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (problem.vars[i] == v) pure.objective[i] = Rational(d);
+        }
+      }
+      pure.constraints = constraint_rows;
+      pure.rhs.assign(constraint_rows.size(), Rational(1));
+      auto pure_sol = solve_lp(pure);
+      if (!pure_sol) return std::nullopt;
+      if (pure_sol->objective_value > alpha_exact) {
+        alpha_exact = pure_sol->objective_value;
+        sol->x = pure_sol->x;
+        sol->x.resize(n + 1);
+      }
+    }
+    if (alpha_exact > form.alpha) {
+      form.alpha = alpha_exact;
+      form.exponents.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        form.exponents[problem.vars[i]] = sol->x[i];
+      }
+    }
+  }
+  if (form.alpha < Rational(0)) return std::nullopt;
+
+  // --- numeric constant fit (seeded at the LP exponents) ---
+  const double x_lo = 1e9, x_hi = 1e12;
+  auto lp_seed = [&](double X) {
+    std::vector<double> seed(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      seed[i] = form.exponents.at(problem.vars[i]).to_double() * std::log(X);
+    }
+    return seed;
+  };
+  NumericOptimum lo = solve_at(problem, x_lo, {lp_seed(x_lo)});
+  NumericOptimum hi = solve_at(problem, x_hi, {lp_seed(x_hi)});
+  double alpha_lp = form.alpha.to_double();
+  double alpha_fit =
+      (std::log(hi.chi) - std::log(lo.chi)) / (std::log(x_hi) - std::log(x_lo));
+  form.fit_residual = std::fabs(alpha_fit - alpha_lp);
+  double c_num = hi.chi / std::pow(x_hi, alpha_lp);
+  form.coefficient_num = c_num;
+  for (const auto& [v, xv] : hi.tiles) {
+    double av = form.exponents.at(v).to_double();
+    form.tile_coeffs[v] = xv / std::pow(x_hi, av);
+  }
+
+  // --- asymptotic GP refinement: machine-precision constant when the
+  // problem has the pure-monomial structure ---
+  double c_best = c_num;
+  double snap_tol = 1e-4;
+  std::map<std::string, double> kappa;
+  std::optional<double> c_gp =
+      asymptotic_constant(problem, form.exponents, form.alpha, &kappa);
+  if (c_gp && std::fabs(*c_gp - c_num) <= 1e-2 * std::max(*c_gp, c_num)) {
+    c_best = *c_gp;
+    snap_tol = 1e-8;
+    for (const auto& [v, kv] : kappa) form.tile_coeffs[v] = kv;
+  } else if (c_gp) {
+    // Disagreement: keep the larger (a larger chi only loosens the bound,
+    // staying sound) and leave the constant numeric.
+    c_best = std::max(*c_gp, c_num);
+  }
+  form.coefficient_num = c_best;
+
+  // --- snap to an exact value: rationalize c^q with the smallest-denominator
+  // convergent so a noisy fit cannot masquerade as an exotic rational ---
+  long long q = static_cast<long long>(form.alpha.den());
+  double cq = std::pow(c_best, static_cast<double>(q));
+  Rational snapped;
+  if (rationalize_within(cq, snap_tol, 1000000, &snapped) &&
+      snapped.is_positive()) {
+    form.coefficient = sym::pow(sym::Expr(snapped), Rational(1, q));
+    form.coefficient_exact = true;
+  } else {
+    form.coefficient = sym::Expr(rationalize(c_best, 1000000));
+    form.coefficient_exact = false;
+  }
+  return form;
+}
+
+}  // namespace soap::bounds

@@ -1,0 +1,81 @@
+// Solver for the paper's optimization problem (8):
+//
+//     maximize  chi = prod_t |D_t|
+//     subject to  sum_j |A_j(D)| <= X   (dominator-set budget)
+//                 |A_out(D)| <= X       (minimum-set budget, per output)
+//                 |D_t| >= 1
+//
+// yielding chi(X) = |H_max(X)| and, downstream, the computational intensity
+// rho = chi(X)/(X - S).
+//
+// Strategy (see DESIGN.md): the *exponent* alpha of chi(X) = c * X^alpha is
+// obtained exactly from a rational LP over the dominant monomials of the
+// access terms; the *constant* c is computed by a numeric optimizer in
+// log-space (Nelder-Mead over tile exponents with exact feasibility
+// projection, seeded at the LP solution) and then snapped to an exact value
+// by rationalizing c^q (q = den(alpha)), which recovers radicals such as
+// (1/27)^(1/2) = sqrt(3)/9 for matrix multiplication.  The LP and the
+// numeric fit cross-check each other; disagreement is an error.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bounds/access_size.hpp"
+#include "support/rational.hpp"
+#include "symbolic/expr.hpp"
+
+namespace soap::bounds {
+
+/// One monomial of the objective: coeff * prod_v x_v^deg.
+struct ObjectiveMonomial {
+  std::map<std::string, int> degrees;
+  Rational coeff = 1;
+};
+
+struct OptimizationProblem {
+  std::vector<std::string> vars;         ///< tile-size variables |D_t|
+  std::vector<AccessTerm> sum_terms;     ///< sum over these <= X
+  std::vector<AccessTerm> single_terms;  ///< each individually <= X
+  /// Objective chi = sum of monomials.  Empty means the single-statement
+  /// default prod of all vars.  Merged SDG subgraph statements (Section 6)
+  /// produce one monomial per member statement: |H| sums the vertices each
+  /// member computes inside the tile.
+  std::vector<ObjectiveMonomial> objective;
+
+  [[nodiscard]] std::vector<ObjectiveMonomial> effective_objective() const {
+    if (!objective.empty()) return objective;
+    ObjectiveMonomial all;
+    for (const std::string& v : vars) all.degrees[v] = 1;
+    return {all};
+  }
+};
+
+/// Result of one numeric solve at a concrete X.
+struct NumericOptimum {
+  std::map<std::string, double> tiles;
+  double chi = 0.0;
+};
+
+/// Numerically maximizes prod x_v subject to the constraints at budget X.
+NumericOptimum maximize_subcomputation(const OptimizationProblem& problem,
+                                       double X);
+
+/// Symbolic form of chi(X) ~ coefficient * X^alpha (leading order).
+struct ChiForm {
+  Rational alpha;                      ///< exact, from the exponent LP
+  sym::Expr coefficient;               ///< exact-ified constant c
+  double coefficient_num = 0.0;        ///< numeric c (pre-snap)
+  bool coefficient_exact = false;      ///< snap succeeded
+  std::map<std::string, Rational> exponents;  ///< a_v: x_v ~ X^{a_v}
+  std::map<std::string, double> tile_coeffs;  ///< kappa_v: x_v ~ kappa_v X^{a_v}
+  double fit_residual = 0.0;           ///< |log chi - (log c + alpha log X)|
+};
+
+/// Derives chi(X).  Returns std::nullopt when the problem is unbounded
+/// (some loop variable occurs in no access: unlimited reuse, no bound).
+std::optional<ChiForm> derive_chi(const OptimizationProblem& problem);
+
+}  // namespace soap::bounds

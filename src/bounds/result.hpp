@@ -1,0 +1,36 @@
+// Result type of the I/O lower-bound derivations.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "support/rational.hpp"
+#include "symbolic/expr.hpp"
+
+namespace soap::bounds {
+
+/// One derived tile size |D_t|(X0) ~ coefficient * S^{exponent}.
+struct TileSize {
+  Rational exponent;
+  double coefficient = 0.0;
+};
+
+/// A symbolic I/O lower bound Q >= ... for a two-level memory hierarchy with
+/// fast-memory size S (symbol "S").
+struct IoLowerBound {
+  sym::Expr Q;          ///< bound with the exact |D| factor
+  sym::Expr Q_leading;  ///< Table 2 style simplified leading-order term
+  sym::Expr rho;        ///< computational intensity at X0 (leading in S)
+  sym::Expr X0;         ///< optimal dominator budget (leading in S)
+  bool finite_X0 = true;  ///< false when rho is minimized as X -> infinity
+  Rational alpha;       ///< chi(X) ~ c X^alpha
+  sym::Expr chi_coeff;  ///< the exact-ified c
+  bool exact = true;    ///< constant snapping succeeded everywhere
+  std::map<std::string, TileSize> tiles;  ///< optimal tiling guideline
+
+  [[nodiscard]] std::string str() const {
+    return "Q >= " + Q_leading.str();
+  }
+};
+
+}  // namespace soap::bounds

@@ -1,0 +1,30 @@
+#include "bounds/single_statement.hpp"
+
+#include "bounds/intensity.hpp"
+#include "soap/projection.hpp"
+
+namespace soap::bounds {
+
+OptimizationProblem statement_problem(const Statement& st) {
+  Statement split = split_disjoint_accesses(st);
+  StatementAnalysis analysis = analyze_statement(split);
+  OptimizationProblem problem;
+  problem.vars = analysis.tile_vars;
+  problem.sum_terms = analysis.input_terms;
+  problem.single_terms = analysis.output_terms;
+  return problem;
+}
+
+std::optional<IoLowerBound> single_statement_bound(const Statement& st) {
+  Statement split = split_disjoint_accesses(st);
+  StatementAnalysis analysis = analyze_statement(split);
+  OptimizationProblem problem;
+  problem.vars = analysis.tile_vars;
+  problem.sum_terms = analysis.input_terms;
+  problem.single_terms = analysis.output_terms;
+  std::optional<ChiForm> chi = derive_chi(problem);
+  if (!chi) return std::nullopt;
+  return assemble_bound(analysis.domain_size_leading, *chi);
+}
+
+}  // namespace soap::bounds

@@ -1,0 +1,26 @@
+// End-to-end I/O lower bound for a single SOAP statement (Section 4).
+#pragma once
+
+#include <optional>
+
+#include "bounds/optimizer.hpp"
+#include "bounds/result.hpp"
+#include "soap/statement.hpp"
+
+namespace soap::bounds {
+
+/// Derives the bound Q >= |D| * (sum_j |A_j(X0)| - S) / prod_t |D_t(X0)|
+/// (inequality 9 of the paper) for one statement.  The statement is first
+/// projected onto SOAP (disjoint-access split); version dimensions and
+/// overlap modes are applied by the access analysis.
+///
+/// Returns std::nullopt when no non-trivial bound exists (e.g. a loop
+/// variable with unlimited reuse makes the intensity unbounded).
+std::optional<IoLowerBound> single_statement_bound(const Statement& st);
+
+/// The optimization problem (8) extracted from a statement; exposed for
+/// tests and for the SDG engine, which builds problems for merged
+/// subgraph statements.
+OptimizationProblem statement_problem(const Statement& st);
+
+}  // namespace soap::bounds

@@ -1,0 +1,125 @@
+#include "cachesim/cache.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+namespace soap::cachesim {
+
+namespace {
+
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+SimResult simulate_lru(const std::vector<schedule::Access>& trace,
+                       std::size_t S) {
+  SimResult r;
+  // LRU list: front = most recent.  Map address -> (list iterator, dirty).
+  std::list<std::uint64_t> order;
+  struct Line {
+    std::list<std::uint64_t>::iterator pos;
+    bool dirty;
+  };
+  std::unordered_map<std::uint64_t, Line> lines;
+  lines.reserve(2 * S);
+
+  for (const schedule::Access& a : trace) {
+    auto it = lines.find(a.address);
+    if (it != lines.end()) {
+      order.erase(it->second.pos);
+      order.push_front(a.address);
+      it->second.pos = order.begin();
+      it->second.dirty |= a.write;
+      continue;
+    }
+    // Miss.  A write to a line not present allocates without a load
+    // (the statement fully overwrites the element).
+    if (!a.write) ++r.loads;
+    if (lines.size() >= S) {
+      std::uint64_t victim = order.back();
+      order.pop_back();
+      auto vit = lines.find(victim);
+      if (vit->second.dirty) ++r.stores;
+      lines.erase(vit);
+    }
+    order.push_front(a.address);
+    lines[a.address] = {order.begin(), a.write};
+  }
+  for (const auto& [addr, line] : lines) {
+    if (line.dirty) ++r.stores;
+  }
+  return r;
+}
+
+SimResult simulate_belady(const std::vector<schedule::Access>& trace,
+                          std::size_t S) {
+  SimResult r;
+  // Next-use chains.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> uses;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    uses[trace[i].address].push_back(i);
+  }
+  std::unordered_map<std::uint64_t, std::size_t> use_idx;
+  auto next_use = [&](std::uint64_t addr, std::size_t now) {
+    auto& positions = uses[addr];
+    std::size_t& idx = use_idx[addr];
+    while (idx < positions.size() && positions[idx] <= now) ++idx;
+    return idx < positions.size() ? positions[idx] : kNever;
+  };
+
+  // Cached lines ordered by next use (max-heap by next use).
+  struct Line {
+    bool present = false;
+    bool dirty = false;
+  };
+  std::unordered_map<std::uint64_t, Line> lines;
+  // Lazy priority queue of (next_use, addr).
+  std::priority_queue<std::pair<std::size_t, std::uint64_t>> pq;
+  std::size_t cached = 0;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const schedule::Access& a = trace[i];
+    Line& line = lines[a.address];
+    std::size_t nu = next_use(a.address, i);
+    if (line.present) {
+      line.dirty |= a.write;
+      pq.push({nu == kNever ? kNever : nu, a.address});
+      continue;
+    }
+    if (!a.write) ++r.loads;
+    if (cached >= S) {
+      // Evict the line with the furthest (lazily validated) next use.
+      while (true) {
+        auto [when, victim] = pq.top();
+        pq.pop();
+        auto vit = lines.find(victim);
+        if (vit == lines.end() || !vit->second.present) continue;
+        std::size_t actual = next_use(victim, i - 1);
+        if (actual != when && !(actual == kNever && when == kNever)) {
+          pq.push({actual, victim});  // stale entry, reinsert
+          continue;
+        }
+        if (vit->second.dirty) ++r.stores;
+        vit->second.present = false;
+        vit->second.dirty = false;
+        --cached;
+        break;
+      }
+    }
+    line.present = true;
+    line.dirty = a.write;
+    ++cached;
+    pq.push({nu, a.address});
+  }
+  for (const auto& [addr, line] : lines) {
+    if (line.present && line.dirty) ++r.stores;
+  }
+  return r;
+}
+
+}  // namespace soap::cachesim

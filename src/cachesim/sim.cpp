@@ -1,0 +1,23 @@
+#include "cachesim/sim.hpp"
+
+namespace soap::cachesim {
+
+Measurement measure_statement(const Statement& st,
+                              const std::map<std::string, long long>& params,
+                              const std::map<std::string, long long>& tiles,
+                              std::size_t S) {
+  schedule::TraceBuilder builder;
+  if (tiles.empty()) {
+    builder.append_natural(st, params);
+  } else {
+    builder.append_tiled(st, params, tiles);
+  }
+  Measurement m;
+  m.trace_length = builder.trace().size();
+  m.footprint = builder.distinct_addresses();
+  m.lru = simulate_lru(builder.trace(), S);
+  m.belady = simulate_belady(builder.trace(), S);
+  return m;
+}
+
+}  // namespace soap::cachesim

@@ -1,0 +1,28 @@
+// Convenience harness: statement + (optional) tiling -> trace -> simulated
+// I/O, next to the analytic lower bound.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cachesim/cache.hpp"
+#include "soap/statement.hpp"
+
+namespace soap::cachesim {
+
+struct Measurement {
+  SimResult lru;
+  SimResult belady;
+  std::size_t trace_length = 0;
+  std::size_t footprint = 0;  ///< distinct addresses
+};
+
+/// Simulates the statement's execution with capacity S; `tiles` empty means
+/// the natural (untiled) loop order.
+Measurement measure_statement(const Statement& st,
+                              const std::map<std::string, long long>& params,
+                              const std::map<std::string, long long>& tiles,
+                              std::size_t S);
+
+}  // namespace soap::cachesim

@@ -1,0 +1,85 @@
+// Abstract syntax for the loop-nest mini-languages.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace soap::frontend {
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+struct AstExpr {
+  enum class Kind { kNumber, kVar, kBinary, kUnary, kCall, kRef };
+  Kind kind;
+  long long number = 0;        // kNumber
+  std::string name;            // kVar / kCall (callee) / kRef (array)
+  std::string op;              // kBinary / kUnary
+  std::vector<AstExprPtr> args;  // operands / call args / subscripts
+
+  static AstExprPtr make_number(long long v) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kNumber;
+    e->number = v;
+    return e;
+  }
+  static AstExprPtr make_var(std::string n) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kVar;
+    e->name = std::move(n);
+    return e;
+  }
+  static AstExprPtr make_binary(std::string o, AstExprPtr l, AstExprPtr r) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kBinary;
+    e->op = std::move(o);
+    e->args = {std::move(l), std::move(r)};
+    return e;
+  }
+  static AstExprPtr make_unary(std::string o, AstExprPtr v) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kUnary;
+    e->op = std::move(o);
+    e->args = {std::move(v)};
+    return e;
+  }
+  static AstExprPtr make_call(std::string callee,
+                              std::vector<AstExprPtr> args) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kCall;
+    e->name = std::move(callee);
+    e->args = std::move(args);
+    return e;
+  }
+  static AstExprPtr make_ref(std::string array,
+                             std::vector<AstExprPtr> subscripts) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = Kind::kRef;
+    e->name = std::move(array);
+    e->args = std::move(subscripts);
+    return e;
+  }
+};
+
+struct AstItem;
+using AstItemPtr = std::shared_ptr<AstItem>;
+
+struct AstItem {
+  enum class Kind { kLoop, kAssign };
+  Kind kind;
+  // kLoop
+  std::string loop_var;
+  AstExprPtr lower;   // inclusive
+  AstExprPtr upper;   // exclusive (range semantics)
+  std::vector<AstItemPtr> body;
+  // kAssign
+  AstExprPtr lhs;     // a kRef
+  std::string assign_op;  // "=", "+=", "-=", "*=", "/="
+  AstExprPtr rhs;
+  int line = 0;
+};
+
+using AstProgram = std::vector<AstItemPtr>;
+
+}  // namespace soap::frontend

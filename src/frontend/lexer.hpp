@@ -1,0 +1,43 @@
+// Tokenizer for the loop-nest input languages (Python-style and C-style),
+// replacing the DaCe frontend of the paper's tool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soap::frontend {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kPunct,    // operators and delimiters, text in `text`
+  kNewline,  // logical end of line (Python mode)
+  kIndent,   // indentation increase (Python mode)
+  kDedent,   // indentation decrease (Python mode)
+  kEnd
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  long long number = 0;
+  int line = 0;
+  int column = 0;
+};
+
+struct LexError {
+  std::string message;
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes `source`.  When `python_layout` is true, emits
+/// kNewline/kIndent/kDedent tokens from the line structure (comments `#...`
+/// stripped); otherwise whitespace is insignificant and `//...` comments are
+/// stripped.  Throws std::runtime_error with position info on bad input.
+std::vector<Token> tokenize(const std::string& source, bool python_layout);
+
+/// Heuristic: C-style when the source contains "for (" / "for(" or braces.
+bool looks_like_c(const std::string& source);
+
+}  // namespace soap::frontend

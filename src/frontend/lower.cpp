@@ -1,0 +1,132 @@
+#include "frontend/lower.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "frontend/parser.hpp"
+
+namespace soap::frontend {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg, int line) {
+  throw std::runtime_error("lowering error at line " + std::to_string(line) +
+                           ": " + msg);
+}
+
+// Affine interpretation of an expression; throws on non-affine shapes.
+Affine to_affine(const AstExprPtr& e, int line) {
+  switch (e->kind) {
+    case AstExpr::Kind::kNumber:
+      return Affine(e->number);
+    case AstExpr::Kind::kVar:
+      return Affine::variable(e->name);
+    case AstExpr::Kind::kUnary:
+      if (e->op == "-") return -to_affine(e->args[0], line);
+      fail("non-affine unary operator '" + e->op + "'", line);
+    case AstExpr::Kind::kBinary: {
+      if (e->op == "+") {
+        return to_affine(e->args[0], line) + to_affine(e->args[1], line);
+      }
+      if (e->op == "-") {
+        return to_affine(e->args[0], line) - to_affine(e->args[1], line);
+      }
+      if (e->op == "*") {
+        Affine l = to_affine(e->args[0], line);
+        Affine r = to_affine(e->args[1], line);
+        if (l.is_constant()) return l.constant() * r;
+        if (r.is_constant()) return r.constant() * l;
+        fail("non-affine product in subscript/bound", line);
+      }
+      if (e->op == "/") {
+        Affine l = to_affine(e->args[0], line);
+        Affine r = to_affine(e->args[1], line);
+        if (r.is_constant() && !r.constant().is_zero()) {
+          return r.constant().inverse() * l;
+        }
+        fail("non-constant divisor in subscript/bound", line);
+      }
+      fail("non-affine operator '" + e->op + "'", line);
+    }
+    case AstExpr::Kind::kCall:
+    case AstExpr::Kind::kRef:
+      fail("non-affine subscript/bound", line);
+  }
+  fail("bad expression", line);
+}
+
+AccessComponent to_component(const AstExprPtr& ref, int line) {
+  AccessComponent comp;
+  comp.index.reserve(ref->args.size());
+  for (const AstExprPtr& sub : ref->args) {
+    comp.index.push_back(to_affine(sub, line));
+  }
+  return comp;
+}
+
+void collect_refs(const AstExprPtr& e, std::vector<AstExprPtr>* out) {
+  if (e->kind == AstExpr::Kind::kRef) {
+    out->push_back(e);
+    // Subscripts may not contain refs (checked by to_affine), so no recursion
+    // into them is needed; still recurse defensively for diagnostics.
+    return;
+  }
+  for (const AstExprPtr& a : e->args) collect_refs(a, out);
+}
+
+struct LoweringState {
+  Program program;
+  int counter = 0;
+
+  void walk(const AstItemPtr& item, std::vector<Loop>* loop_stack) {
+    if (item->kind == AstItem::Kind::kLoop) {
+      loop_stack->push_back({item->loop_var, to_affine(item->lower, item->line),
+                             to_affine(item->upper, item->line)});
+      for (const AstItemPtr& child : item->body) walk(child, loop_stack);
+      loop_stack->pop_back();
+      return;
+    }
+    Statement st;
+    st.name = "St" + std::to_string(++counter);
+    st.domain = Domain(*loop_stack);
+    st.output.array = item->lhs->name;
+    st.output.components = {to_component(item->lhs, item->line)};
+
+    std::vector<AstExprPtr> refs;
+    collect_refs(item->rhs, &refs);
+    // Update operators read the output location too.
+    if (item->assign_op != "=") refs.push_back(item->lhs);
+
+    for (const AstExprPtr& ref : refs) {
+      AccessComponent comp = to_component(ref, item->line);
+      ArrayAccess* slot = nullptr;
+      for (ArrayAccess& in : st.inputs) {
+        if (in.array == ref->name) slot = &in;
+      }
+      if (slot == nullptr) {
+        st.inputs.push_back({ref->name, {}});
+        slot = &st.inputs.back();
+      }
+      if (std::find(slot->components.begin(), slot->components.end(), comp) ==
+          slot->components.end()) {
+        slot->components.push_back(std::move(comp));
+      }
+    }
+    program.statements.push_back(std::move(st));
+  }
+};
+
+}  // namespace
+
+Program lower(const AstProgram& ast) {
+  LoweringState state;
+  std::vector<Loop> loop_stack;
+  for (const AstItemPtr& item : ast) state.walk(item, &loop_stack);
+  return state.program;
+}
+
+Program parse_program(const std::string& source) {
+  return lower(parse(source));
+}
+
+}  // namespace soap::frontend

@@ -1,0 +1,23 @@
+// Lowering from the frontend AST to SOAP programs.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "soap/statement.hpp"
+
+namespace soap::frontend {
+
+/// Lowers a parsed loop-nest program to a SOAP Program:
+///   * every assignment becomes one Statement enclosed in its loop stack,
+///   * array subscripts are converted to affine forms (non-affine subscripts
+///     are rejected with a diagnostic; use the programmatic API plus the
+///     Section 5.3 hints for those),
+///   * an update operator (`+=` etc.) or a re-read of the output array adds
+///     the output to the statement's inputs (input-output overlap).
+Program lower(const AstProgram& ast);
+
+/// Convenience: parse (auto-detect language) and lower.
+Program parse_program(const std::string& source);
+
+}  // namespace soap::frontend

@@ -1,0 +1,286 @@
+#include "frontend/parser.hpp"
+
+#include <stdexcept>
+
+#include "frontend/lexer.hpp"
+
+namespace soap::frontend {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, bool python)
+      : tokens_(std::move(tokens)), python_(python) {}
+
+  AstProgram parse_program() {
+    AstProgram out;
+    skip_newlines();
+    while (!at(TokenKind::kEnd)) {
+      out.push_back(parse_item());
+      skip_newlines();
+    }
+    return out;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    const Token& t = peek();
+    throw std::runtime_error("parse error at " + std::to_string(t.line) + ":" +
+                             std::to_string(t.column) + ": " + msg +
+                             (t.text.empty() ? "" : " (near '" + t.text + "')"));
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at(TokenKind k) const { return peek().kind == k; }
+  bool at_punct(const std::string& p) const {
+    return peek().kind == TokenKind::kPunct && peek().text == p;
+  }
+  bool at_ident(const std::string& name) const {
+    return peek().kind == TokenKind::kIdent && peek().text == name;
+  }
+  Token take() { return tokens_[pos_++]; }
+  void expect_punct(const std::string& p) {
+    if (!at_punct(p)) fail("expected '" + p + "'");
+    ++pos_;
+  }
+  std::string expect_ident() {
+    if (!at(TokenKind::kIdent)) fail("expected identifier");
+    return take().text;
+  }
+  void skip_newlines() {
+    while (at(TokenKind::kNewline)) ++pos_;
+  }
+
+  // --- expressions ---
+
+  AstExprPtr parse_primary() {
+    if (at(TokenKind::kNumber)) {
+      return AstExpr::make_number(take().number);
+    }
+    if (at_punct("(")) {
+      ++pos_;
+      AstExprPtr e = parse_expr();
+      expect_punct(")");
+      return e;
+    }
+    if (at(TokenKind::kIdent)) {
+      std::string name = take().text;
+      if (at_punct("(")) {  // call
+        ++pos_;
+        std::vector<AstExprPtr> args;
+        if (!at_punct(")")) {
+          args.push_back(parse_expr());
+          while (at_punct(",")) {
+            ++pos_;
+            args.push_back(parse_expr());
+          }
+        }
+        expect_punct(")");
+        return AstExpr::make_call(std::move(name), std::move(args));
+      }
+      if (at_punct("[")) {  // array reference: A[i,j] or A[i][j]
+        std::vector<AstExprPtr> subs;
+        while (at_punct("[")) {
+          ++pos_;
+          subs.push_back(parse_expr());
+          while (at_punct(",")) {
+            ++pos_;
+            subs.push_back(parse_expr());
+          }
+          expect_punct("]");
+        }
+        return AstExpr::make_ref(std::move(name), std::move(subs));
+      }
+      return AstExpr::make_var(std::move(name));
+    }
+    fail("expected expression");
+  }
+
+  AstExprPtr parse_unary() {
+    if (at_punct("-")) {
+      ++pos_;
+      return AstExpr::make_unary("-", parse_unary());
+    }
+    if (at_punct("+")) {
+      ++pos_;
+      return parse_unary();
+    }
+    return parse_primary();
+  }
+
+  AstExprPtr parse_term() {
+    AstExprPtr e = parse_unary();
+    while (at_punct("*") || at_punct("/") || at_punct("%")) {
+      std::string op = take().text;
+      e = AstExpr::make_binary(op, e, parse_unary());
+    }
+    return e;
+  }
+
+  AstExprPtr parse_expr() {
+    AstExprPtr e = parse_term();
+    while (at_punct("+") || at_punct("-")) {
+      std::string op = take().text;
+      e = AstExpr::make_binary(op, e, parse_term());
+    }
+    return e;
+  }
+
+  // --- statements ---
+
+  bool at_assign_op() const {
+    return peek().kind == TokenKind::kPunct &&
+           (peek().text == "=" || peek().text == "+=" || peek().text == "-=" ||
+            peek().text == "*=" || peek().text == "/=");
+  }
+
+  AstItemPtr parse_assign() {
+    auto item = std::make_shared<AstItem>();
+    item->kind = AstItem::Kind::kAssign;
+    item->line = peek().line;
+    item->lhs = parse_primary();
+    if (item->lhs->kind != AstExpr::Kind::kRef) {
+      fail("assignment target must be an array reference");
+    }
+    if (!at_assign_op()) fail("expected assignment operator");
+    item->assign_op = take().text;
+    item->rhs = parse_expr();
+    return item;
+  }
+
+  // --- Python mode ---
+
+  AstItemPtr parse_python_for() {
+    auto item = std::make_shared<AstItem>();
+    item->kind = AstItem::Kind::kLoop;
+    item->line = peek().line;
+    ++pos_;  // 'for'
+    item->loop_var = expect_ident();
+    if (!at_ident("in")) fail("expected 'in'");
+    ++pos_;
+    if (!at_ident("range")) fail("expected 'range'");
+    ++pos_;
+    expect_punct("(");
+    AstExprPtr first = parse_expr();
+    if (at_punct(",")) {
+      ++pos_;
+      item->lower = first;
+      item->upper = parse_expr();
+    } else {
+      item->lower = AstExpr::make_number(0);
+      item->upper = first;
+    }
+    expect_punct(")");
+    expect_punct(":");
+    if (!at(TokenKind::kNewline)) fail("expected newline after ':'");
+    ++pos_;
+    if (!at(TokenKind::kIndent)) fail("expected indented block");
+    ++pos_;
+    while (!at(TokenKind::kDedent) && !at(TokenKind::kEnd)) {
+      item->body.push_back(parse_item());
+      skip_newlines();
+    }
+    if (at(TokenKind::kDedent)) ++pos_;
+    return item;
+  }
+
+  // --- C mode ---
+
+  AstItemPtr parse_c_for() {
+    auto item = std::make_shared<AstItem>();
+    item->kind = AstItem::Kind::kLoop;
+    item->line = peek().line;
+    ++pos_;  // 'for'
+    expect_punct("(");
+    // Optional type name: "int i = ..." (one leading identifier).
+    if (at(TokenKind::kIdent) && peek(1).kind == TokenKind::kIdent) ++pos_;
+    item->loop_var = expect_ident();
+    expect_punct("=");
+    item->lower = parse_expr();
+    expect_punct(";");
+    std::string cond_var = expect_ident();
+    if (cond_var != item->loop_var) fail("for-condition on a different variable");
+    if (at_punct("<")) {
+      ++pos_;
+      item->upper = parse_expr();
+    } else if (at_punct("<=")) {
+      ++pos_;
+      item->upper = AstExpr::make_binary("+", parse_expr(),
+                                         AstExpr::make_number(1));
+    } else {
+      fail("expected '<' or '<=' in for-condition");
+    }
+    expect_punct(";");
+    // increment: i++ / ++i / i += 1
+    if (at_punct("++")) {
+      ++pos_;
+      expect_ident();
+    } else {
+      std::string inc_var = expect_ident();
+      if (inc_var != item->loop_var) fail("for-increment on a different variable");
+      if (at_punct("++")) {
+        ++pos_;
+      } else if (at_punct("+=")) {
+        ++pos_;
+        if (!at(TokenKind::kNumber) || peek().number != 1) {
+          fail("only unit-stride loops are supported");
+        }
+        ++pos_;
+      } else {
+        fail("expected '++' or '+= 1'");
+      }
+    }
+    expect_punct(")");
+    if (at_punct("{")) {
+      ++pos_;
+      while (!at_punct("}")) {
+        if (at(TokenKind::kEnd)) fail("unterminated '{'");
+        item->body.push_back(parse_item());
+      }
+      ++pos_;
+    } else {
+      item->body.push_back(parse_item());
+    }
+    return item;
+  }
+
+  AstItemPtr parse_item() {
+    skip_newlines();
+    if (at_ident("for")) {
+      return python_ ? parse_python_for() : parse_c_for();
+    }
+    AstItemPtr a = parse_assign();
+    if (python_) {
+      if (at(TokenKind::kNewline)) ++pos_;
+    } else {
+      expect_punct(";");
+    }
+    return a;
+  }
+
+  std::vector<Token> tokens_;
+  bool python_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+AstProgram parse_python(const std::string& source) {
+  return Parser(tokenize(source, /*python_layout=*/true), /*python=*/true)
+      .parse_program();
+}
+
+AstProgram parse_c(const std::string& source) {
+  return Parser(tokenize(source, /*python_layout=*/false), /*python=*/false)
+      .parse_program();
+}
+
+AstProgram parse(const std::string& source) {
+  return looks_like_c(source) ? parse_c(source) : parse_python(source);
+}
+
+}  // namespace soap::frontend

@@ -1,0 +1,37 @@
+// Recursive-descent parsers for the Python-style and C-style loop-nest
+// languages.  Together with frontend/lower.* this fulfils the paper's
+// "derive lower bounds directly from provided C code".
+//
+// Grammar (shared expression core, precedence climbing):
+//   expr    := term (('+'|'-') term)*
+//   term    := unary (('*'|'/'|'%') unary)*
+//   unary   := '-' unary | primary
+//   primary := NUMBER | IDENT | IDENT '(' args ')' | ref | '(' expr ')'
+//   ref     := IDENT ('[' expr (',' expr)* ']')+
+//
+// Python mode:
+//   item   := 'for' IDENT 'in' 'range' '(' expr (',' expr)? ')' ':' block
+//           | ref ASSIGNOP expr NEWLINE
+//   block  := NEWLINE INDENT item+ DEDENT
+//
+// C mode:
+//   item   := 'for' '(' [type] IDENT '=' expr ';' IDENT ('<'|'<=') expr ';'
+//                       (IDENT '++' | '++' IDENT | IDENT '+=' '1') ')' body
+//           | ref ASSIGNOP expr ';'
+//   body   := '{' item* '}' | item
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace soap::frontend {
+
+/// Parses source in either language (auto-detected via looks_like_c).
+/// Throws std::runtime_error with location info on syntax errors.
+AstProgram parse(const std::string& source);
+
+AstProgram parse_python(const std::string& source);
+AstProgram parse_c(const std::string& source);
+
+}  // namespace soap::frontend

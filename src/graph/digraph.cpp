@@ -1,0 +1,92 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace soap::graph {
+
+void Digraph::add_edge(std::size_t u, std::size_t v) {
+  if (u >= size() || v >= size())
+    throw std::out_of_range("Digraph::add_edge: bad vertex");
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+}
+
+bool Digraph::has_edge(std::size_t u, std::size_t v) const {
+  return std::find(out_[u].begin(), out_[u].end(), v) != out_[u].end();
+}
+
+std::vector<std::size_t> Digraph::topological_order() const {
+  std::vector<std::size_t> indeg(size(), 0);
+  for (std::size_t v = 0; v < size(); ++v) indeg[v] = in_[v].size();
+  std::vector<std::size_t> queue;
+  for (std::size_t v = 0; v < size(); ++v) {
+    if (indeg[v] == 0) queue.push_back(v);
+  }
+  std::vector<std::size_t> order;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    std::size_t v = queue[head];
+    order.push_back(v);
+    for (std::size_t c : out_[v]) {
+      if (--indeg[c] == 0) queue.push_back(c);
+    }
+  }
+  if (order.size() != size()) {
+    throw std::logic_error("Digraph::topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+std::vector<bool> Digraph::reachable_from(
+    const std::vector<std::size_t>& sources) const {
+  std::vector<bool> seen(size(), false);
+  std::vector<std::size_t> stack = sources;
+  for (std::size_t s : stack) seen[s] = true;
+  while (!stack.empty()) {
+    std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t c : out_[v]) {
+      if (!seen[c]) {
+        seen[c] = true;
+        stack.push_back(c);
+      }
+    }
+  }
+  return seen;
+}
+
+bool Digraph::blocks_have_cycle(const std::vector<int>& block_of) const {
+  // Build the condensation over non-negative blocks and look for a cycle.
+  int max_block = -1;
+  for (int b : block_of) max_block = std::max(max_block, b);
+  if (max_block < 0) return false;
+  std::set<std::pair<int, int>> edges;
+  for (std::size_t u = 0; u < size(); ++u) {
+    if (block_of[u] < 0) continue;
+    for (std::size_t v : out_[u]) {
+      if (block_of[v] < 0 || block_of[u] == block_of[v]) continue;
+      edges.insert({block_of[u], block_of[v]});
+    }
+  }
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(max_block) + 1);
+  std::vector<int> indeg(static_cast<std::size_t>(max_block) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    adj[static_cast<std::size_t>(u)].push_back(v);
+    ++indeg[static_cast<std::size_t>(v)];
+  }
+  std::vector<int> queue;
+  for (std::size_t b = 0; b <= static_cast<std::size_t>(max_block); ++b) {
+    if (indeg[b] == 0) queue.push_back(static_cast<int>(b));
+  }
+  std::size_t seen = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    ++seen;
+    for (int c : adj[static_cast<std::size_t>(queue[head])]) {
+      if (--indeg[static_cast<std::size_t>(c)] == 0) queue.push_back(c);
+    }
+  }
+  return seen != static_cast<std::size_t>(max_block) + 1;
+}
+
+}  // namespace soap::graph

@@ -1,0 +1,48 @@
+// Small dense-id digraph used by the CDAG machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soap::graph {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t n) : out_(n), in_(n) {}
+
+  std::size_t add_vertex() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return out_.size() - 1;
+  }
+  void add_edge(std::size_t u, std::size_t v);
+
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+  [[nodiscard]] const std::vector<std::size_t>& children(std::size_t v) const {
+    return out_[v];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& parents(std::size_t v) const {
+    return in_[v];
+  }
+  [[nodiscard]] bool has_edge(std::size_t u, std::size_t v) const;
+
+  /// Topological order; throws std::logic_error on cycles.
+  [[nodiscard]] std::vector<std::size_t> topological_order() const;
+
+  /// Vertices reachable from `sources` (following edges forward).
+  [[nodiscard]] std::vector<bool> reachable_from(
+      const std::vector<std::size_t>& sources) const;
+
+  /// True if there is a cycle among the given blocks when contracting each
+  /// block to a super-vertex (used by the X-partition acyclicity check).
+  [[nodiscard]] bool blocks_have_cycle(
+      const std::vector<int>& block_of) const;
+
+ private:
+  std::vector<std::vector<std::size_t>> out_;
+  std::vector<std::vector<std::size_t>> in_;
+};
+
+}  // namespace soap::graph

@@ -1,0 +1,83 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace soap::graph {
+
+void MaxFlow::add_edge(std::size_t u, std::size_t v, long long capacity) {
+  edges_.push_back({v, capacity, head_[u]});
+  head_[u] = static_cast<int>(edges_.size()) - 1;
+  edges_.push_back({u, 0, head_[v]});
+  head_[v] = static_cast<int>(edges_.size()) - 1;
+}
+
+bool MaxFlow::bfs(std::size_t s, std::size_t t) {
+  level_.assign(head_.size(), -1);
+  std::queue<std::size_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    std::size_t v = q.front();
+    q.pop();
+    for (int e = head_[v]; e != -1; e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      if (ed.cap > 0 && level_[ed.to] < 0) {
+        level_[ed.to] = level_[v] + 1;
+        q.push(ed.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+long long MaxFlow::dfs(std::size_t v, std::size_t t, long long pushed) {
+  if (v == t) return pushed;
+  for (int& e = iter_[v]; e != -1;
+       e = edges_[static_cast<std::size_t>(e)].next) {
+    Edge& ed = edges_[static_cast<std::size_t>(e)];
+    if (ed.cap > 0 && level_[ed.to] == level_[v] + 1) {
+      long long got = dfs(ed.to, t, std::min(pushed, ed.cap));
+      if (got > 0) {
+        ed.cap -= got;
+        edges_[static_cast<std::size_t>(e ^ 1)].cap += got;
+        return got;
+      }
+    }
+  }
+  return 0;
+}
+
+long long MaxFlow::solve(std::size_t s, std::size_t t) {
+  long long flow = 0;
+  while (bfs(s, t)) {
+    iter_ = head_;
+    while (long long pushed =
+               dfs(s, t, std::numeric_limits<long long>::max())) {
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::vector<bool> MaxFlow::min_cut_side(std::size_t s) const {
+  std::vector<bool> seen(head_.size(), false);
+  std::vector<std::size_t> stack = {s};
+  seen[s] = true;
+  while (!stack.empty()) {
+    std::size_t v = stack.back();
+    stack.pop_back();
+    for (int e = head_[v]; e != -1;
+         e = edges_[static_cast<std::size_t>(e)].next) {
+      const Edge& ed = edges_[static_cast<std::size_t>(e)];
+      if (ed.cap > 0 && !seen[ed.to]) {
+        seen[ed.to] = true;
+        stack.push_back(ed.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace soap::graph

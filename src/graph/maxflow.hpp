@@ -1,0 +1,39 @@
+// Dinic max-flow on unit/integer capacities; substrate for minimum vertex
+// cuts (minimum dominator sets, Section 2.2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace soap::graph {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t n) : head_(n, -1) {}
+
+  /// Adds a directed edge u -> v with the given capacity.
+  void add_edge(std::size_t u, std::size_t v, long long capacity);
+
+  /// Computes the max flow from s to t (Dinic).
+  long long solve(std::size_t s, std::size_t t);
+
+  /// After solve(): vertices reachable from s in the residual graph
+  /// (the s-side of a minimum cut).
+  [[nodiscard]] std::vector<bool> min_cut_side(std::size_t s) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    long long cap;
+    int next;
+  };
+  bool bfs(std::size_t s, std::size_t t);
+  long long dfs(std::size_t v, std::size_t t, long long pushed);
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace soap::graph

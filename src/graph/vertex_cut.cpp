@@ -1,0 +1,50 @@
+#include "graph/vertex_cut.hpp"
+
+#include "graph/maxflow.hpp"
+
+namespace soap::graph {
+
+namespace {
+
+constexpr long long kInf = 1LL << 60;
+
+// Split graph layout: vertex v -> v_in = 2v, v_out = 2v + 1; super source
+// s = 2n, super sink t = 2n + 1.
+MaxFlow build_split(const Digraph& g, const std::vector<std::size_t>& sources,
+                    const std::vector<std::size_t>& targets) {
+  const std::size_t n = g.size();
+  MaxFlow mf(2 * n + 2);
+  for (std::size_t v = 0; v < n; ++v) {
+    mf.add_edge(2 * v, 2 * v + 1, 1);  // unit vertex capacity
+    for (std::size_t c : g.children(v)) {
+      mf.add_edge(2 * v + 1, 2 * c, kInf);
+    }
+  }
+  for (std::size_t s : sources) mf.add_edge(2 * n, 2 * s, kInf);
+  for (std::size_t t : targets) mf.add_edge(2 * t + 1, 2 * n + 1, kInf);
+  return mf;
+}
+
+}  // namespace
+
+long long min_vertex_cut(const Digraph& g,
+                         const std::vector<std::size_t>& sources,
+                         const std::vector<std::size_t>& targets) {
+  MaxFlow mf = build_split(g, sources, targets);
+  return mf.solve(2 * g.size(), 2 * g.size() + 1);
+}
+
+std::vector<std::size_t> min_vertex_cut_set(
+    const Digraph& g, const std::vector<std::size_t>& sources,
+    const std::vector<std::size_t>& targets) {
+  MaxFlow mf = build_split(g, sources, targets);
+  mf.solve(2 * g.size(), 2 * g.size() + 1);
+  std::vector<bool> side = mf.min_cut_side(2 * g.size());
+  std::vector<std::size_t> cut;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    if (side[2 * v] && !side[2 * v + 1]) cut.push_back(v);
+  }
+  return cut;
+}
+
+}  // namespace soap::graph

@@ -1,0 +1,26 @@
+// Minimum vertex cuts via vertex splitting: the size of a minimum dominator
+// set Dom_min(H) (Section 2.2) equals the minimum number of vertices whose
+// removal disconnects the CDAG inputs from H, computed as a unit-capacity
+// max-flow on the split graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace soap::graph {
+
+/// Size of the smallest vertex set intersecting every path from `sources`
+/// to `targets` (vertices in sources/targets may themselves be chosen:
+/// standard closed vertex cut, matching the paper's dominator definition
+/// where Dom(H) may include vertices of H or inputs).
+long long min_vertex_cut(const Digraph& g,
+                         const std::vector<std::size_t>& sources,
+                         const std::vector<std::size_t>& targets);
+
+/// One minimum dominator set (vertex indices), not just its size.
+std::vector<std::size_t> min_vertex_cut_set(
+    const Digraph& g, const std::vector<std::size_t>& sources,
+    const std::vector<std::size_t>& targets);
+
+}  // namespace soap::graph

@@ -1,0 +1,33 @@
+#include "kernels/table2.hpp"
+
+#include <stdexcept>
+
+namespace soap::kernels {
+
+const std::vector<KernelEntry>& table2_kernels() {
+  static const std::vector<KernelEntry> all = [] {
+    std::vector<KernelEntry> v = polybench_kernels();
+    for (auto& k : neural_kernels()) v.push_back(std::move(k));
+    for (auto& k : various_kernels()) v.push_back(std::move(k));
+    return v;
+  }();
+  return all;
+}
+
+sym::Expr analyze_kernel(const KernelEntry& entry) {
+  Program program = entry.build();
+  auto bound = sdg::multi_statement_bound(program, entry.options);
+  if (!bound) {
+    throw std::runtime_error("analyze_kernel: no bound for " + entry.name);
+  }
+  return bound->Q_leading;
+}
+
+const KernelEntry& kernel_by_name(const std::string& name) {
+  for (const KernelEntry& k : table2_kernels()) {
+    if (k.name == name) return k;
+  }
+  throw std::out_of_range("unknown kernel: " + name);
+}
+
+}  // namespace soap::kernels

@@ -1,0 +1,51 @@
+// The application corpus of the paper's evaluation (Table 2): 30 Polybench
+// kernels, 5 deep-learning workloads, and 3 scientific applications, each
+// with its SOAP encoding, the paper's reported leading-order bound, the
+// prior state of the art, and the engine configuration reproducing the
+// published number.  EXPERIMENTS.md documents every encoding decision and
+// the places where the general engine derives a different constant than the
+// paper's published row.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sdg/multi_statement.hpp"
+#include "soap/statement.hpp"
+#include "symbolic/expr.hpp"
+
+namespace soap::kernels {
+
+struct KernelEntry {
+  std::string name;
+  std::string category;  ///< "polybench" | "neural" | "various"
+  std::function<Program()> build;
+  /// Leading-order bound as printed in Table 2 of the paper.
+  sym::Expr paper_bound;
+  /// What our engine derives with `options` (equals paper_bound for most
+  /// kernels; differs where EXPERIMENTS.md documents why).
+  sym::Expr expected_bound;
+  std::string sota;         ///< prior best bound (display only)
+  std::string improvement;  ///< Table 2 improvement factor (display only)
+  sdg::SdgOptions options;
+  std::string notes;
+};
+
+/// All Polybench entries (30 kernels).
+std::vector<KernelEntry> polybench_kernels();
+/// Deep learning: direct convolution, softmax, MLP, LeNet-5, BERT encoder.
+std::vector<KernelEntry> neural_kernels();
+/// LULESH, COSMO horizontal diffusion, COSMO vertical advection.
+std::vector<KernelEntry> various_kernels();
+/// The full 38-application corpus.
+const std::vector<KernelEntry>& table2_kernels();
+
+/// Runs the analysis configured for the entry and returns the leading-order
+/// bound.
+sym::Expr analyze_kernel(const KernelEntry& entry);
+
+/// Lookup by name; throws std::out_of_range when missing.
+const KernelEntry& kernel_by_name(const std::string& name);
+
+}  // namespace soap::kernels

@@ -1,0 +1,83 @@
+#include "linalg/simplex.hpp"
+
+#include <stdexcept>
+
+namespace soap {
+
+std::optional<LpSolution> solve_lp(const LinearProgram& lp) {
+  const std::size_t n = lp.objective.size();
+  const std::size_t m = lp.constraints.size();
+  if (lp.rhs.size() != m)
+    throw std::invalid_argument("solve_lp: rhs/constraints size mismatch");
+  for (const auto& row : lp.constraints) {
+    if (row.size() != n)
+      throw std::invalid_argument("solve_lp: constraint arity mismatch");
+  }
+  for (const Rational& b : lp.rhs) {
+    if (b.is_negative())
+      throw std::invalid_argument("solve_lp: negative rhs unsupported");
+  }
+
+  // Tableau: m rows of [A | I | b], objective row [-c | 0 | 0].
+  const std::size_t cols = n + m + 1;
+  std::vector<std::vector<Rational>> t(m + 1,
+                                       std::vector<Rational>(cols, Rational(0)));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = lp.constraints[i][j];
+    t[i][n + i] = 1;
+    t[i][cols - 1] = lp.rhs[i];
+  }
+  for (std::size_t j = 0; j < n; ++j) t[m][j] = -lp.objective[j];
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) basis[i] = n + i;
+
+  for (int iter = 0; iter < 10000; ++iter) {
+    // Bland's rule: entering variable = lowest index with negative reduced
+    // cost.
+    std::size_t enter = cols;
+    for (std::size_t j = 0; j + 1 < cols; ++j) {
+      if (t[m][j].is_negative()) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == cols) break;  // optimal
+
+    // Ratio test (Bland ties: lowest basis index).
+    std::size_t leave = m + 1;
+    Rational best_ratio = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!t[i][enter].is_positive()) continue;
+      Rational ratio = t[i][cols - 1] / t[i][enter];
+      if (leave == m + 1 || ratio < best_ratio ||
+          (ratio == best_ratio && basis[i] < basis[leave])) {
+        leave = i;
+        best_ratio = ratio;
+      }
+    }
+    if (leave == m + 1) return std::nullopt;  // unbounded
+
+    // Pivot.
+    Rational piv = t[leave][enter];
+    for (std::size_t j = 0; j < cols; ++j) t[leave][j] /= piv;
+    for (std::size_t i = 0; i <= m; ++i) {
+      if (i == leave || t[i][enter].is_zero()) continue;
+      Rational f = t[i][enter];
+      for (std::size_t j = 0; j < cols; ++j) {
+        t[i][j] -= f * t[leave][j];
+      }
+    }
+    basis[leave] = enter;
+  }
+
+  LpSolution sol;
+  sol.x.assign(n, Rational(0));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) sol.x[basis[i]] = t[i][cols - 1];
+  }
+  sol.objective_value = t[m][cols - 1];
+  return sol;
+}
+
+}  // namespace soap

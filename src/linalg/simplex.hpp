@@ -1,0 +1,37 @@
+// Exact linear programming over the rationals (dense tableau simplex with
+// Bland's rule, so no cycling and no floating-point error).
+//
+// SOAP analysis uses this for the "exponent LP": relaxing each access-set
+// size to its dominant product prod_{i in Psi_j} x_i and writing x_i = X^{a_i}
+// turns problem (8) of the paper into
+//     maximize sum_i a_i   s.t.  forall j: sum_{i in Psi_j} a_i <= 1, a >= 0,
+// whose exact rational optimum gives the asymptotic exponent alpha of
+// chi(X) = Theta(X^alpha).  This is the discrete HBL dual that also underlies
+// the related projection-based methods the paper compares against.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "support/rational.hpp"
+
+namespace soap {
+
+struct LinearProgram {
+  // maximize objective . x   subject to  constraints[k] . x <= rhs[k], x >= 0.
+  std::vector<Rational> objective;
+  std::vector<std::vector<Rational>> constraints;
+  std::vector<Rational> rhs;
+};
+
+struct LpSolution {
+  Rational objective_value;
+  std::vector<Rational> x;
+};
+
+/// Solves the LP exactly.  Returns std::nullopt if unbounded.
+/// (All-zero is always feasible for the x >= 0, Ax <= b with b >= 0 form used
+/// here; infeasible general inputs throw std::invalid_argument.)
+std::optional<LpSolution> solve_lp(const LinearProgram& lp);
+
+}  // namespace soap

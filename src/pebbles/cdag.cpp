@@ -1,0 +1,52 @@
+#include "pebbles/cdag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace soap::pebbles {
+
+std::size_t Cdag::add_vertex(std::string label) {
+  labels_.push_back(std::move(label));
+  return graph_.add_vertex();
+}
+
+void Cdag::mark_output(std::size_t v) {
+  if (std::find(marked_outputs_.begin(), marked_outputs_.end(), v) ==
+      marked_outputs_.end()) {
+    marked_outputs_.push_back(v);
+  }
+}
+
+std::vector<std::size_t> Cdag::inputs() const {
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < size(); ++v) {
+    if (graph_.parents(v).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Cdag::outputs() const {
+  if (!marked_outputs_.empty()) return marked_outputs_;
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < size(); ++v) {
+    if (graph_.children(v).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::string Cdag::dot() const {
+  std::ostringstream os;
+  os << "digraph cdag {\n";
+  for (std::size_t v = 0; v < size(); ++v) {
+    os << "  v" << v << " [label=\"" << labels_[v] << "\"];\n";
+  }
+  for (std::size_t v = 0; v < size(); ++v) {
+    for (std::size_t c : graph_.children(v)) {
+      os << "  v" << v << " -> v" << c << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace soap::pebbles

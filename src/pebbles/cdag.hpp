@@ -1,0 +1,41 @@
+// Concrete Computational DAGs: vertices are data (inputs or results of
+// computations), edges are data dependencies (Section 2.1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace soap::pebbles {
+
+class Cdag {
+ public:
+  /// Adds a vertex; `label` is a human-readable name like "A[2,3]@1".
+  std::size_t add_vertex(std::string label);
+  void add_edge(std::size_t from, std::size_t to) {
+    graph_.add_edge(from, to);
+  }
+  void mark_output(std::size_t v);
+
+  [[nodiscard]] std::size_t size() const { return graph_.size(); }
+  [[nodiscard]] const graph::Digraph& graph() const { return graph_; }
+  [[nodiscard]] const std::string& label(std::size_t v) const {
+    return labels_[v];
+  }
+  /// Vertices with in-degree 0 (program inputs, start with blue pebbles).
+  [[nodiscard]] std::vector<std::size_t> inputs() const;
+  /// Marked output vertices (must end with blue pebbles); falls back to all
+  /// sinks when none were marked.
+  [[nodiscard]] std::vector<std::size_t> outputs() const;
+
+  [[nodiscard]] std::string dot() const;
+
+ private:
+  graph::Digraph graph_;
+  std::vector<std::string> labels_;
+  std::vector<std::size_t> marked_outputs_;
+};
+
+}  // namespace soap::pebbles

@@ -1,0 +1,82 @@
+#include "pebbles/game.hpp"
+
+#include <algorithm>
+
+namespace soap::pebbles {
+
+GameResult run_pebbling(const Cdag& cdag, std::size_t S,
+                        const std::vector<Move>& moves) {
+  GameResult r;
+  std::vector<bool> red(cdag.size(), false);
+  std::vector<bool> blue(cdag.size(), false);
+  for (std::size_t v : cdag.inputs()) blue[v] = true;
+  std::size_t red_count = 0;
+
+  auto fail = [&](const std::string& why, const Move& m) {
+    r.valid = false;
+    r.error = why + " (" + move_str(cdag, m) + ")";
+    return r;
+  };
+
+  for (const Move& m : moves) {
+    if (m.vertex >= cdag.size()) return fail("bad vertex", m);
+    switch (m.type) {
+      case MoveType::kLoad:
+        if (!blue[m.vertex]) return fail("load without blue pebble", m);
+        if (red[m.vertex]) return fail("load onto existing red", m);
+        if (red_count + 1 > S) return fail("red budget exceeded", m);
+        red[m.vertex] = true;
+        ++red_count;
+        ++r.loads;
+        break;
+      case MoveType::kStore:
+        if (!red[m.vertex]) return fail("store without red pebble", m);
+        if (!blue[m.vertex]) ++r.stores;
+        blue[m.vertex] = true;
+        break;
+      case MoveType::kCompute: {
+        if (red[m.vertex]) return fail("compute onto existing red", m);
+        if (cdag.graph().parents(m.vertex).empty()) {
+          return fail("compute on an input vertex", m);
+        }
+        for (std::size_t p : cdag.graph().parents(m.vertex)) {
+          if (!red[p]) return fail("compute with non-red parent", m);
+        }
+        if (red_count + 1 > S) return fail("red budget exceeded", m);
+        red[m.vertex] = true;
+        ++red_count;
+        break;
+      }
+      case MoveType::kDiscardRed:
+        if (!red[m.vertex]) return fail("discard of absent red", m);
+        red[m.vertex] = false;
+        --red_count;
+        break;
+      case MoveType::kDiscardBlue:
+        if (!blue[m.vertex]) return fail("discard of absent blue", m);
+        blue[m.vertex] = false;
+        break;
+    }
+    r.max_red = std::max(r.max_red, red_count);
+  }
+  for (std::size_t v : cdag.outputs()) {
+    if (!blue[v]) {
+      r.valid = false;
+      r.error = "output " + cdag.label(v) + " not in slow memory at the end";
+      r.io_cost = r.loads + r.stores;
+      return r;
+    }
+  }
+  r.valid = true;
+  r.io_cost = r.loads + r.stores;
+  return r;
+}
+
+std::string move_str(const Cdag& cdag, const Move& move) {
+  const char* names[] = {"load", "store", "compute", "discard-red",
+                         "discard-blue"};
+  return std::string(names[static_cast<int>(move.type)]) + " " +
+         cdag.label(move.vertex);
+}
+
+}  // namespace soap::pebbles

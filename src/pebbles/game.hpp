@@ -1,0 +1,45 @@
+// The red-blue pebble game of Hong & Kung (Section 2.1): S red pebbles
+// (fast memory), unlimited blue pebbles (slow memory), moves load / store /
+// compute / discard; the I/O cost of a pebbling is its number of loads and
+// stores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pebbles/cdag.hpp"
+
+namespace soap::pebbles {
+
+enum class MoveType : std::uint8_t {
+  kLoad,        ///< red on a vertex holding blue
+  kStore,       ///< blue on a vertex holding red
+  kCompute,     ///< red on a vertex whose parents all hold red
+  kDiscardRed,  ///< remove a red pebble
+  kDiscardBlue  ///< remove a blue pebble
+};
+
+struct Move {
+  MoveType type;
+  std::size_t vertex;
+};
+
+struct GameResult {
+  bool valid = false;
+  std::string error;
+  long long io_cost = 0;      ///< loads + stores
+  std::size_t max_red = 0;    ///< peak red-pebble usage
+  long long loads = 0;
+  long long stores = 0;
+};
+
+/// Replays a move sequence from the initial configuration (blue pebbles on
+/// all inputs) and validates every move against the rules and the red-pebble
+/// budget S.  `valid` additionally requires all outputs to hold blue pebbles
+/// at the end.
+GameResult run_pebbling(const Cdag& cdag, std::size_t S,
+                        const std::vector<Move>& moves);
+
+std::string move_str(const Cdag& cdag, const Move& move);
+
+}  // namespace soap::pebbles

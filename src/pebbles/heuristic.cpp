@@ -1,0 +1,148 @@
+#include "pebbles/heuristic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace soap::pebbles {
+
+namespace {
+
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+ScheduleResult scheduled_pebbling(const Cdag& cdag, std::size_t S,
+                                  const std::vector<std::size_t>& compute_order,
+                                  Replacement policy) {
+  const std::size_t n = cdag.size();
+  ScheduleResult r;
+
+  // Uses of each vertex: the steps at which it is a parent of the computed
+  // vertex.  use_lists power both Belady and liveness.
+  std::vector<std::vector<std::size_t>> uses(n);
+  for (std::size_t step = 0; step < compute_order.size(); ++step) {
+    for (std::size_t p : cdag.graph().parents(compute_order[step])) {
+      uses[p].push_back(step);
+    }
+  }
+  std::vector<bool> is_output(n, false);
+  for (std::size_t v : cdag.outputs()) is_output[v] = true;
+
+  std::vector<bool> red(n, false);
+  std::vector<bool> blue(n, false);
+  std::vector<bool> computed(n, false);
+  for (std::size_t v : cdag.inputs()) blue[v] = true;
+  std::vector<std::size_t> next_use_idx(n, 0);
+  std::vector<std::size_t> last_touch(n, 0);
+  std::set<std::size_t> in_cache;
+  std::size_t clock = 0;
+
+  auto next_use = [&](std::size_t v, std::size_t now) {
+    std::size_t& idx = next_use_idx[v];
+    while (idx < uses[v].size() && uses[v][idx] < now) ++idx;
+    return idx < uses[v].size() ? uses[v][idx] : kNever;
+  };
+
+  auto evict_one = [&](const std::set<std::size_t>& pinned, std::size_t now) {
+    std::size_t victim = kNever;
+    if (policy == Replacement::kBelady) {
+      std::size_t worst = 0;
+      for (std::size_t v : in_cache) {
+        if (pinned.count(v)) continue;
+        std::size_t nu = next_use(v, now);
+        if (victim == kNever || nu > worst ||
+            (nu == worst && last_touch[v] < last_touch[victim])) {
+          victim = v;
+          worst = nu;
+        }
+        if (nu == kNever) break;  // cannot do better
+      }
+    } else {
+      std::size_t oldest = kNever;
+      for (std::size_t v : in_cache) {
+        if (pinned.count(v)) continue;
+        if (victim == kNever || last_touch[v] < oldest) {
+          victim = v;
+          oldest = last_touch[v];
+        }
+      }
+    }
+    if (victim == kNever) {
+      throw std::runtime_error(
+          "scheduled_pebbling: S too small for a statement's working set");
+    }
+    bool live = is_output[victim] || next_use(victim, now) != kNever;
+    if (live && computed[victim] && !blue[victim]) {
+      r.moves.push_back({MoveType::kStore, victim});
+      blue[victim] = true;
+      ++r.stores;
+    }
+    r.moves.push_back({MoveType::kDiscardRed, victim});
+    red[victim] = false;
+    in_cache.erase(victim);
+  };
+
+  auto ensure_room = [&](const std::set<std::size_t>& pinned,
+                         std::size_t now) {
+    while (in_cache.size() >= S) evict_one(pinned, now);
+  };
+
+  for (std::size_t step = 0; step < compute_order.size(); ++step) {
+    std::size_t v = compute_order[step];
+    std::set<std::size_t> pinned = {v};
+    for (std::size_t p : cdag.graph().parents(v)) pinned.insert(p);
+    if (pinned.size() > S) {
+      throw std::runtime_error(
+          "scheduled_pebbling: statement needs more than S operands");
+    }
+    for (std::size_t p : cdag.graph().parents(v)) {
+      if (red[p]) {
+        last_touch[p] = ++clock;
+        continue;
+      }
+      if (!blue[p]) {
+        throw std::logic_error(
+            "scheduled_pebbling: operand neither cached nor in slow memory "
+            "(order not topological?)");
+      }
+      ensure_room(pinned, step);
+      r.moves.push_back({MoveType::kLoad, p});
+      red[p] = true;
+      in_cache.insert(p);
+      last_touch[p] = ++clock;
+      ++r.loads;
+    }
+    ensure_room(pinned, step);
+    r.moves.push_back({MoveType::kCompute, v});
+    red[v] = true;
+    computed[v] = true;
+    in_cache.insert(v);
+    last_touch[v] = ++clock;
+  }
+  // Flush outputs.
+  for (std::size_t v : cdag.outputs()) {
+    if (!blue[v]) {
+      if (!red[v]) {
+        throw std::logic_error("scheduled_pebbling: output lost");
+      }
+      r.moves.push_back({MoveType::kStore, v});
+      blue[v] = true;
+      ++r.stores;
+    }
+  }
+  r.io_cost = r.loads + r.stores;
+  return r;
+}
+
+ScheduleResult natural_order_pebbling(const Cdag& cdag, std::size_t S,
+                                      Replacement policy) {
+  std::vector<std::size_t> order;
+  for (std::size_t v : cdag.graph().topological_order()) {
+    if (!cdag.graph().parents(v).empty()) order.push_back(v);
+  }
+  return scheduled_pebbling(cdag, S, order, policy);
+}
+
+}  // namespace soap::pebbles

@@ -1,0 +1,39 @@
+// Scheduled pebbler: turns a compute order (e.g. a tiled loop order from the
+// schedule module) plus a replacement policy into a *valid* pebbling whose
+// I/O cost upper-bounds the optimum.  Together with the analytic lower bound
+// this sandwiches the true I/O cost, which is how the benchmark harness
+// demonstrates tightness of the derived bounds.
+#pragma once
+
+#include <vector>
+
+#include "pebbles/cdag.hpp"
+#include "pebbles/game.hpp"
+
+namespace soap::pebbles {
+
+enum class Replacement {
+  kLru,
+  kBelady  ///< offline-optimal: evict the vertex with the furthest next use
+};
+
+struct ScheduleResult {
+  long long io_cost = 0;
+  long long loads = 0;
+  long long stores = 0;
+  std::vector<Move> moves;  ///< replayable via run_pebbling
+};
+
+/// Executes `compute_order` (a permutation of the non-input vertices, or any
+/// topological-order-compatible subsequence covering all outputs) with S red
+/// pebbles and the given replacement policy.  Evicted vertices that are still
+/// live (have an unfinished child or are outputs) are written back first.
+ScheduleResult scheduled_pebbling(const Cdag& cdag, std::size_t S,
+                                  const std::vector<std::size_t>& compute_order,
+                                  Replacement policy);
+
+/// Convenience: natural topological order.
+ScheduleResult natural_order_pebbling(const Cdag& cdag, std::size_t S,
+                                      Replacement policy);
+
+}  // namespace soap::pebbles

@@ -1,0 +1,139 @@
+#include "pebbles/instantiate.hpp"
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+namespace soap::pebbles {
+
+namespace {
+
+using ElementKey = std::pair<std::string, std::vector<long long>>;
+
+std::string element_label(const ElementKey& key, int version) {
+  std::ostringstream os;
+  os << key.first << "[";
+  for (std::size_t i = 0; i < key.second.size(); ++i) {
+    if (i) os << ",";
+    os << key.second[i];
+  }
+  os << "]";
+  if (version > 0) os << "@" << version;
+  return os.str();
+}
+
+struct Builder {
+  const Program& program;
+  const InstantiateOptions& options;
+  InstantiationDetail detail;
+  std::map<ElementKey, std::size_t> current_version;
+  std::map<ElementKey, int> version_count;
+
+  std::size_t vertex_for_read(const ElementKey& key) {
+    auto it = current_version.find(key);
+    if (it != current_version.end()) return it->second;
+    // First touch of a never-written element: a program input.
+    check_budget();
+    std::size_t v = detail.cdag.add_vertex(element_label(key, 0));
+    current_version[key] = v;
+    return v;
+  }
+
+  void check_budget() const {
+    if (detail.cdag.size() >= options.max_vertices) {
+      throw std::length_error("instantiate: CDAG vertex budget exceeded");
+    }
+  }
+
+  std::vector<long long> eval_component(
+      const AccessComponent& comp,
+      const std::map<std::string, Rational>& env) const {
+    std::vector<long long> idx;
+    idx.reserve(comp.index.size());
+    for (const Affine& a : comp.index) {
+      Rational r = a.eval(env);
+      if (!r.is_integer()) {
+        throw std::domain_error("instantiate: non-integer subscript");
+      }
+      idx.push_back(r.to_int());
+    }
+    return idx;
+  }
+
+  void execute(std::size_t stmt_index, const Statement& st,
+               const std::map<std::string, Rational>& env,
+               std::vector<long long> iteration) {
+    // Gather parents (dedup).
+    std::vector<std::size_t> parents;
+    for (const ArrayAccess& in : st.inputs) {
+      for (const AccessComponent& comp : in.components) {
+        std::size_t v = vertex_for_read({in.array, eval_component(comp, env)});
+        bool seen = false;
+        for (std::size_t p : parents) seen |= p == v;
+        if (!seen) parents.push_back(v);
+      }
+    }
+    check_budget();
+    ElementKey out_key{st.output.array,
+                       eval_component(st.output.components[0], env)};
+    int version = ++version_count[out_key];
+    std::size_t v = detail.cdag.add_vertex(element_label(out_key, version));
+    for (std::size_t p : parents) detail.cdag.add_edge(p, v);
+    current_version[out_key] = v;
+    detail.statement_vertices[stmt_index].push_back(v);
+    detail.iteration_of[v] = std::move(iteration);
+  }
+
+  void run_statement(std::size_t stmt_index, const Statement& st,
+                     const std::map<std::string, long long>& params) {
+    std::map<std::string, Rational> env;
+    for (const auto& [k, v] : params) env[k] = Rational(v);
+    std::function<void(std::size_t, std::vector<long long>&)> nest =
+        [&](std::size_t depth, std::vector<long long>& iter) {
+          if (depth == st.domain.loops().size()) {
+            execute(stmt_index, st, env, iter);
+            return;
+          }
+          const Loop& loop = st.domain.loops()[depth];
+          Rational lo = loop.lower.eval(env);
+          Rational hi = loop.upper.eval(env);
+          for (long long v = static_cast<long long>(lo.floor());
+               v < static_cast<long long>(hi.floor()); ++v) {
+            env[loop.var] = Rational(v);
+            iter.push_back(v);
+            nest(depth + 1, iter);
+            iter.pop_back();
+          }
+          env.erase(loop.var);
+        };
+    std::vector<long long> iter;
+    nest(0, iter);
+  }
+};
+
+}  // namespace
+
+InstantiationDetail instantiate_detailed(
+    const Program& program, const std::map<std::string, long long>& params,
+    const InstantiateOptions& options) {
+  Builder b{program, options, {}, {}, {}};
+  b.detail.statement_vertices.resize(program.statements.size());
+  for (std::size_t i = 0; i < program.statements.size(); ++i) {
+    b.run_statement(i, program.statements[i], params);
+  }
+  // Outputs: final versions of the terminal arrays.
+  for (const std::string& arr : program.terminal_arrays()) {
+    for (const auto& [key, v] : b.current_version) {
+      if (key.first == arr) b.detail.cdag.mark_output(v);
+    }
+  }
+  return std::move(b.detail);
+}
+
+Cdag instantiate(const Program& program,
+                 const std::map<std::string, long long>& params,
+                 const InstantiateOptions& options) {
+  return instantiate_detailed(program, params, options).cdag;
+}
+
+}  // namespace soap::pebbles

@@ -1,0 +1,41 @@
+// Explicit CDAG instantiation of a SOAP program for concrete parameter
+// values.  Every statement execution creates one vertex (a new version of the
+// written element); reads draw edges from the current versions of the read
+// elements.  This is the machine-checkable ground truth against which the
+// symbolic analysis is validated (Lemma 3 counting, pebbling lower bounds).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "pebbles/cdag.hpp"
+#include "soap/statement.hpp"
+
+namespace soap::pebbles {
+
+struct InstantiateOptions {
+  /// Safety valve: instantiation aborts (throws std::length_error) past this
+  /// many vertices.
+  std::size_t max_vertices = 200000;
+};
+
+/// Builds the concrete CDAG of `program` with the given parameter values.
+/// Program outputs = final versions of the terminal arrays.
+Cdag instantiate(const Program& program,
+                 const std::map<std::string, long long>& params,
+                 const InstantiateOptions& options = {});
+
+/// The vertex ids created for executions of statement `stmt_index`, in
+/// execution order (useful to build subcomputations for partition tests).
+struct InstantiationDetail {
+  Cdag cdag;
+  std::vector<std::vector<std::size_t>> statement_vertices;
+  /// vertex -> iteration vector (only for computed vertices).
+  std::map<std::size_t, std::vector<long long>> iteration_of;
+};
+
+InstantiationDetail instantiate_detailed(
+    const Program& program, const std::map<std::string, long long>& params,
+    const InstantiateOptions& options = {});
+
+}  // namespace soap::pebbles

@@ -1,0 +1,109 @@
+#include "pebbles/optimal.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace soap::pebbles {
+
+namespace {
+
+struct State {
+  std::uint64_t red;
+  std::uint64_t blue;
+  friend bool operator==(const State& a, const State& b) {
+    return a.red == b.red && a.blue == b.blue;
+  }
+};
+
+struct StateHash {
+  std::size_t operator()(const State& s) const {
+    std::uint64_t h = s.red * 0x9e3779b97f4a7c15ULL;
+    h ^= s.blue + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+int popcount(std::uint64_t v) { return __builtin_popcountll(v); }
+
+}  // namespace
+
+std::optional<OptimalResult> optimal_pebbling(const Cdag& cdag, std::size_t S,
+                                              const OptimalOptions& options) {
+  const std::size_t n = cdag.size();
+  if (n > 64) throw std::invalid_argument("optimal_pebbling: CDAG too large");
+
+  std::uint64_t initial_blue = 0;
+  for (std::size_t v : cdag.inputs()) initial_blue |= 1ULL << v;
+  std::uint64_t goal = 0;
+  for (std::size_t v : cdag.outputs()) goal |= 1ULL << v;
+
+  // Parent masks; inputs marked separately (not computable).
+  std::vector<std::uint64_t> parent_mask(n, 0);
+  std::vector<bool> is_input(n, false);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto& ps = cdag.graph().parents(v);
+    if (ps.empty()) {
+      is_input[v] = true;
+      continue;
+    }
+    for (std::size_t p : ps) parent_mask[v] |= 1ULL << p;
+  }
+
+  // 0-1 BFS: deque with (state, cost); visited map stores best known cost.
+  std::unordered_map<State, long long, StateHash> best;
+  std::deque<std::pair<State, long long>> dq;
+  State start{0, initial_blue};
+  best[start] = 0;
+  dq.emplace_back(start, 0);
+  std::size_t explored = 0;
+
+  auto push = [&](const State& s, long long cost, bool unit) {
+    auto it = best.find(s);
+    if (it != best.end() && it->second <= cost) return;
+    best[s] = cost;
+    if (unit) {
+      dq.emplace_back(s, cost);
+    } else {
+      dq.emplace_front(s, cost);
+    }
+  };
+
+  while (!dq.empty()) {
+    auto [s, cost] = dq.front();
+    dq.pop_front();
+    auto it = best.find(s);
+    if (it == best.end() || it->second < cost) continue;  // stale entry
+    if ((s.blue & goal) == goal) {
+      return OptimalResult{cost, explored};
+    }
+    if (++explored > options.max_states) return std::nullopt;
+
+    int reds = popcount(s.red);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t bit = 1ULL << v;
+      // Compute.
+      if (!(s.red & bit) && !is_input[v] &&
+          (s.red & parent_mask[v]) == parent_mask[v] &&
+          reds + 1 <= static_cast<int>(S)) {
+        push({s.red | bit, s.blue}, cost, false);
+      }
+      // Load.
+      if ((s.blue & bit) && !(s.red & bit) && reds + 1 <= static_cast<int>(S)) {
+        push({s.red | bit, s.blue}, cost + 1, true);
+      }
+      // Store.
+      if ((s.red & bit) && !(s.blue & bit)) {
+        push({s.red, s.blue | bit}, cost + 1, true);
+      }
+      // Discard red.
+      if (s.red & bit) {
+        push({s.red & ~bit, s.blue}, cost, false);
+      }
+    }
+  }
+  return std::nullopt;  // unreachable goal (malformed CDAG)
+}
+
+}  // namespace soap::pebbles

@@ -1,0 +1,32 @@
+// Exhaustive optimal pebbling for small CDAGs: 0-1 BFS over game
+// configurations.  Finding the optimum is PSPACE-complete in general
+// (Demaine & Liu), so this is strictly a validation oracle for toy sizes —
+// it machine-checks that the analytic lower bounds of the paper never exceed
+// the true optimal I/O cost.
+#pragma once
+
+#include <optional>
+
+#include "pebbles/cdag.hpp"
+#include "pebbles/game.hpp"
+
+namespace soap::pebbles {
+
+struct OptimalOptions {
+  /// Aborts (returns nullopt) past this many explored configurations.
+  std::size_t max_states = 4000000;
+};
+
+struct OptimalResult {
+  long long cost = 0;
+  std::size_t states_explored = 0;
+};
+
+/// Minimum I/O cost over all valid pebblings with S red pebbles.
+/// Requires cdag.size() <= 64.  Recomputation is allowed; blue pebbles are
+/// never discarded (discarding blue cannot reduce the I/O cost since blue
+/// pebbles are unlimited and capacity-free).
+std::optional<OptimalResult> optimal_pebbling(const Cdag& cdag, std::size_t S,
+                                              const OptimalOptions& options = {});
+
+}  // namespace soap::pebbles

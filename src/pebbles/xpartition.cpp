@@ -1,0 +1,57 @@
+#include "pebbles/xpartition.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "pebbles/dominator.hpp"
+
+namespace soap::pebbles {
+
+XPartitionCheck check_x_partition(const Cdag& cdag,
+                                  const std::vector<int>& part_of,
+                                  long long X) {
+  XPartitionCheck out;
+  if (part_of.size() != cdag.size()) {
+    out.reason = "part_of size mismatch";
+    return out;
+  }
+  // All non-input vertices assigned.
+  for (std::size_t v = 0; v < cdag.size(); ++v) {
+    bool is_input = cdag.graph().parents(v).empty();
+    if (!is_input && part_of[v] < 0) {
+      out.reason = "computed vertex " + cdag.label(v) + " unassigned";
+      return out;
+    }
+  }
+  // Acyclicity between parts.
+  if (cdag.graph().blocks_have_cycle(part_of)) {
+    out.reason = "cyclic dependency between subcomputations";
+    return out;
+  }
+  // Per-part dominator / minimum set budgets.
+  std::map<int, std::vector<std::size_t>> parts;
+  for (std::size_t v = 0; v < cdag.size(); ++v) {
+    if (part_of[v] >= 0) parts[part_of[v]].push_back(v);
+  }
+  out.parts = parts.size();
+  for (const auto& [id, vertices] : parts) {
+    long long dom = min_dominator_size(cdag, vertices);
+    std::size_t mins = minimum_set(cdag, vertices).size();
+    out.max_dominator = std::max(out.max_dominator, dom);
+    out.max_minimum_set = std::max(out.max_minimum_set, mins);
+    if (dom > X) {
+      out.reason = "part " + std::to_string(id) + " dominator " +
+                   std::to_string(dom) + " exceeds X";
+      return out;
+    }
+    if (static_cast<long long>(mins) > X) {
+      out.reason = "part " + std::to_string(id) + " minimum set " +
+                   std::to_string(mins) + " exceeds X";
+      return out;
+    }
+  }
+  out.valid = true;
+  return out;
+}
+
+}  // namespace soap::pebbles

@@ -1,0 +1,28 @@
+// X-partition validation (Section 2.2): disjoint subcomputations covering
+// the computed vertices, no cyclic dependencies between subcomputations,
+// |Dom_min(H_i)| <= X and |Min(H_i)| <= X for every part.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pebbles/cdag.hpp"
+
+namespace soap::pebbles {
+
+struct XPartitionCheck {
+  bool valid = false;
+  std::string reason;
+  long long max_dominator = 0;
+  std::size_t max_minimum_set = 0;
+  std::size_t parts = 0;
+};
+
+/// `part_of[v]` is the part index of vertex v, or -1 for vertices outside
+/// the partition (inputs).  All computed (non-input) vertices must be
+/// assigned.
+XPartitionCheck check_x_partition(const Cdag& cdag,
+                                  const std::vector<int>& part_of,
+                                  long long X);
+
+}  // namespace soap::pebbles

@@ -1,0 +1,73 @@
+#include "schedule/codegen.hpp"
+
+#include <sstream>
+
+namespace soap::schedule {
+
+namespace {
+
+std::string subscript(const ArrayAccess& acc, std::size_t component) {
+  std::string out = acc.array;
+  for (const Affine& idx : acc.components[component].index) {
+    out += "[" + idx.str() + "]";
+  }
+  return out;
+}
+
+std::string statement_body(const Statement& st) {
+  std::ostringstream os;
+  os << subscript(st.output, 0) << " = f(";
+  bool first = true;
+  for (const ArrayAccess& in : st.inputs) {
+    for (std::size_t c = 0; c < in.components.size(); ++c) {
+      if (!first) os << ", ";
+      os << subscript(in, c);
+      first = false;
+    }
+  }
+  os << ");";
+  return os.str();
+}
+
+}  // namespace
+
+std::string emit_c(const Statement& st) {
+  std::ostringstream os;
+  std::string indent;
+  for (const Loop& l : st.domain.loops()) {
+    os << indent << "for (int " << l.var << " = " << l.lower.str() << "; "
+       << l.var << " < " << l.upper.str() << "; ++" << l.var << ")\n";
+    indent += "  ";
+  }
+  os << indent << statement_body(st) << "\n";
+  return os.str();
+}
+
+std::string emit_tiled_c(const Statement& st,
+                         const std::map<std::string, long long>& tiles) {
+  std::ostringstream os;
+  std::string indent;
+  const auto& loops = st.domain.loops();
+  for (const Loop& l : loops) {
+    long long t = 1;
+    auto it = tiles.find(l.var);
+    if (it != tiles.end()) t = it->second;
+    os << indent << "for (int " << l.var << "t = " << l.lower.str() << "; "
+       << l.var << "t < " << l.upper.str() << "; " << l.var << "t += " << t
+       << ")\n";
+    indent += "  ";
+  }
+  for (const Loop& l : loops) {
+    long long t = 1;
+    auto it = tiles.find(l.var);
+    if (it != tiles.end()) t = it->second;
+    os << indent << "for (int " << l.var << " = max(" << l.lower.str() << ", "
+       << l.var << "t); " << l.var << " < min(" << l.upper.str() << ", "
+       << l.var << "t + " << t << "); ++" << l.var << ")\n";
+    indent += "  ";
+  }
+  os << indent << statement_body(st) << "\n";
+  return os.str();
+}
+
+}  // namespace soap::schedule

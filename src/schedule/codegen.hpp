@@ -1,0 +1,20 @@
+// Tiled-loop code generation: renders the paper's "compiler guideline"
+// output — the tiled C loop nest induced by the optimal tile sizes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "soap/statement.hpp"
+
+namespace soap::schedule {
+
+/// Emits a C-style tiled loop nest for the statement with the given tile
+/// sizes (tile loops outermost, point loops clipped to the tile).
+std::string emit_tiled_c(const Statement& st,
+                         const std::map<std::string, long long>& tiles);
+
+/// Emits the untiled reference loop nest.
+std::string emit_c(const Statement& st);
+
+}  // namespace soap::schedule

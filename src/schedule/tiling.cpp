@@ -1,0 +1,44 @@
+#include "schedule/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace soap::schedule {
+
+std::map<std::string, long long> concrete_tiles(
+    const Statement& st, const bounds::IoLowerBound& bound, long long S,
+    const std::map<std::string, long long>& params) {
+  std::map<std::string, Rational> env;
+  for (const auto& [k, v] : params) env[k] = Rational(v);
+  std::map<std::string, long long> out;
+  for (const Loop& loop : st.domain.loops()) {
+    long long extent = 1;
+    {
+      // Worst-case extent: evaluate upper - lower at the parameter values
+      // with inner variables at their lower bounds (loop bounds in the
+      // corpus only shrink inward, so this is an upper bound on the extent).
+      std::map<std::string, Rational> probe = env;
+      for (const Loop& outer : st.domain.loops()) {
+        if (outer.var == loop.var) break;
+        probe[outer.var] = outer.lower.eval(probe);
+      }
+      Rational lo = loop.lower.eval(probe);
+      Rational hi = loop.upper.eval(probe);
+      extent = std::max<long long>(
+          1, static_cast<long long>((hi - lo).floor()));
+    }
+    auto it = bound.tiles.find(loop.var);
+    if (it == bound.tiles.end()) {
+      out[loop.var] = extent;
+      continue;
+    }
+    double tile = it->second.coefficient *
+                  std::pow(static_cast<double>(S),
+                           it->second.exponent.to_double());
+    long long t = static_cast<long long>(std::llround(tile));
+    out[loop.var] = std::clamp<long long>(t, 1, extent);
+  }
+  return out;
+}
+
+}  // namespace soap::schedule

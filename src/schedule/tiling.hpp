@@ -1,0 +1,19 @@
+// Concrete tile sizes from the analytic optimum (Section 4.5: substituting
+// X0 back into |D_t|(X) yields the optimal loop tiling).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "bounds/result.hpp"
+#include "soap/statement.hpp"
+
+namespace soap::schedule {
+
+/// tile_v = clamp(round(kappa_v * S^{a_v}), 1, extent_v) for every loop
+/// variable of the statement, with extents evaluated at `params`.
+std::map<std::string, long long> concrete_tiles(
+    const Statement& st, const bounds::IoLowerBound& bound, long long S,
+    const std::map<std::string, long long>& params);
+
+}  // namespace soap::schedule

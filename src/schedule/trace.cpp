@@ -1,0 +1,121 @@
+#include "schedule/trace.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+namespace soap::schedule {
+
+std::uint64_t TraceBuilder::address(const std::string& array,
+                                    const std::vector<long long>& idx) {
+  auto [it, inserted] = address_of_.try_emplace(
+      {array, idx}, static_cast<std::uint64_t>(address_of_.size()));
+  return it->second;
+}
+
+void TraceBuilder::execute(const Statement& st,
+                           std::map<std::string, Rational>& env) {
+  auto eval_component = [&](const AccessComponent& comp) {
+    std::vector<long long> idx;
+    idx.reserve(comp.index.size());
+    for (const Affine& a : comp.index) {
+      idx.push_back(static_cast<long long>(a.eval(env).floor()));
+    }
+    return idx;
+  };
+  for (const ArrayAccess& in : st.inputs) {
+    for (const AccessComponent& comp : in.components) {
+      trace_.push_back({address(in.array, eval_component(comp)), false});
+    }
+  }
+  trace_.push_back(
+      {address(st.output.array, eval_component(st.output.components[0])),
+       true});
+}
+
+void TraceBuilder::append_natural(
+    const Statement& st, const std::map<std::string, long long>& params) {
+  std::map<std::string, Rational> env;
+  for (const auto& [k, v] : params) env[k] = Rational(v);
+  std::function<void(std::size_t)> nest = [&](std::size_t depth) {
+    if (depth == st.domain.loops().size()) {
+      execute(st, env);
+      return;
+    }
+    const Loop& loop = st.domain.loops()[depth];
+    long long lo = static_cast<long long>(loop.lower.eval(env).floor());
+    long long hi = static_cast<long long>(loop.upper.eval(env).floor());
+    for (long long v = lo; v < hi; ++v) {
+      env[loop.var] = Rational(v);
+      nest(depth + 1);
+    }
+    env.erase(loop.var);
+  };
+  nest(0);
+}
+
+void TraceBuilder::append_tiled(const Statement& st,
+                                const std::map<std::string, long long>& params,
+                                const std::map<std::string, long long>& tiles) {
+  std::map<std::string, Rational> env;
+  for (const auto& [k, v] : params) env[k] = Rational(v);
+  const auto& loops = st.domain.loops();
+  const std::size_t depth = loops.size();
+  // Tile origins per level, then points within the tile.  Bounds may depend
+  // on outer iteration variables, so origins are enumerated against the
+  // loosest bound and empty tiles simply produce no executions.
+  std::vector<long long> tile_size(depth, 1);
+  for (std::size_t i = 0; i < depth; ++i) {
+    auto it = tiles.find(loops[i].var);
+    tile_size[i] = it == tiles.end() ? 1 : std::max<long long>(1, it->second);
+  }
+  std::vector<long long> origin(depth, 0);
+
+  std::function<void(std::size_t)> point_nest = [&](std::size_t d) {
+    if (d == depth) {
+      execute(st, env);
+      return;
+    }
+    long long lo = static_cast<long long>(loops[d].lower.eval(env).floor());
+    long long hi = static_cast<long long>(loops[d].upper.eval(env).floor());
+    long long from = std::max(lo, origin[d]);
+    long long to = std::min(hi, origin[d] + tile_size[d]);
+    for (long long v = from; v < to; ++v) {
+      env[loops[d].var] = Rational(v);
+      point_nest(d + 1);
+    }
+    env.erase(loops[d].var);
+  };
+
+  // Global bounds for origins: evaluate with outer variables unset is not
+  // possible for dependent bounds, so origins span the parameter-level hull:
+  // lower bound with all variables at 0 and upper with all at 0 as well
+  // (affine bounds in the corpus only reference parameters and outer loop
+  // variables; the point loops re-clip exactly).
+  std::function<void(std::size_t)> tile_nest = [&](std::size_t d) {
+    if (d == depth) {
+      point_nest(0);
+      return;
+    }
+    std::map<std::string, Rational> hull = env;
+    for (std::size_t i = 0; i < d; ++i) {
+      // Outer tile origins are fixed; use the last point of the tile so
+      // upward-dependent bounds (range(0, i)) are not truncated.
+      hull[loops[i].var] = Rational(origin[i] + tile_size[i] - 1);
+    }
+    for (std::size_t i = d; i < depth; ++i) {
+      if (!hull.count(loops[i].var)) hull[loops[i].var] = Rational(0);
+    }
+    long long lo = static_cast<long long>(loops[d].lower.eval(hull).floor());
+    long long hi = static_cast<long long>(loops[d].upper.eval(hull).floor());
+    // Dependent bounds can start below the hull lower bound; widen downward
+    // to 0 defensively.
+    lo = std::min<long long>(lo, 0);
+    for (long long o = lo; o < hi; o += tile_size[d]) {
+      origin[d] = o;
+      tile_nest(d + 1);
+    }
+  };
+  tile_nest(0);
+}
+
+}  // namespace soap::schedule

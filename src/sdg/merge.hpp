@@ -1,0 +1,33 @@
+// Construction of the "subgraph SOAP statement" St_H (Definition 6): the
+// member statements writing the arrays of H are merged into one virtual
+// statement by unifying their iteration variables through the arrays they
+// share, inputs outside H are counted once (reuse), arrays inside H
+// contribute only their input-output boundary terms (recomputation), and the
+// objective |H| sums the tile volume of every member statement.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bounds/optimizer.hpp"
+#include "sdg/sdg.hpp"
+
+namespace soap::sdg {
+
+struct MergedSubgraph {
+  std::vector<std::string> arrays;   ///< H
+  std::vector<int> members;          ///< statement indices writing into H
+  std::vector<Loop> merged_loops;    ///< unified loop nest
+  bounds::OptimizationProblem problem;
+  /// (statement index, original variable) -> unified variable.
+  std::map<std::pair<int, std::string>, std::string> rename;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Builds St_H for the subgraph H (array names, all computed).
+MergedSubgraph merge_subgraph(const Sdg& sdg,
+                              const std::vector<std::string>& H);
+
+}  // namespace soap::sdg

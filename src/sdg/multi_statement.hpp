@@ -1,0 +1,53 @@
+// Theorem 1 of the paper: the multi-statement I/O lower bound
+//   Q >= sum_{A in V_S} |A| / max_{H in S(A)} rho_H,
+// evaluated over the enumerated connected SDG subgraphs, combined with the
+// cold bound (every touched input loaded and every terminal output stored at
+// least once).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bounds/result.hpp"
+#include "sdg/merge.hpp"
+#include "sdg/sdg.hpp"
+
+namespace soap::sdg {
+
+struct SdgOptions {
+  /// Largest subgraph cardinality enumerated; 1 disables fusion analysis.
+  std::size_t max_subgraph_size = 4;
+  /// Include the cold bound (inputs touched + terminal outputs stored at
+  /// least once) via max().  Off by default: the bounding-box footprint
+  /// over-counts for version-dimension encodings (time stencils) and
+  /// triangular domains; enable it for streaming pipelines where it is exact
+  /// (horizontal diffusion, vertical advection).
+  bool use_cold_bound = false;
+};
+
+struct ArrayBound {
+  std::string array;
+  sym::Expr cdag_size;               ///< |A|: CDAG vertices of the array
+  sym::Expr rho;                     ///< best intensity (leading in S)
+  double rho_value = 0.0;            ///< rho at the reference S
+  std::vector<std::string> best_subgraph;
+};
+
+struct MultiStatementBound {
+  sym::Expr Q_leading;  ///< final Table 2 style bound
+  sym::Expr Q_sdg;      ///< Theorem 1 sum over computed arrays
+  sym::Expr Q_cold;     ///< inputs touched + terminal outputs stored
+  std::vector<ArrayBound> per_array;
+  std::size_t subgraphs_evaluated = 0;
+
+  [[nodiscard]] std::string str() const {
+    return "Q >= " + Q_leading.str();
+  }
+};
+
+/// Full multi-statement analysis of a SOAP program.
+std::optional<MultiStatementBound> multi_statement_bound(
+    const Program& program, const SdgOptions& options = {});
+
+}  // namespace soap::sdg

@@ -1,0 +1,86 @@
+#include "sdg/sdg.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace soap::sdg {
+
+Sdg Sdg::build(const Program& program) {
+  Sdg g;
+  g.program_ = &program;
+  g.arrays_ = program.arrays();
+  for (std::size_t i = 0; i < g.arrays_.size(); ++i) {
+    g.index_[g.arrays_[i]] = static_cast<int>(i);
+  }
+  for (const Statement& st : program.statements) {
+    int out = g.index_.at(st.output.array);
+    for (const ArrayAccess& in : st.inputs) {
+      g.edges_.insert({g.index_.at(in.array), out});
+    }
+  }
+  g.inputs_ = program.input_arrays();
+  g.computed_ = program.computed_arrays();
+  return g;
+}
+
+int Sdg::index_of(const std::string& array) const {
+  auto it = index_.find(array);
+  if (it == index_.end()) throw std::out_of_range("Sdg: unknown array " + array);
+  return it->second;
+}
+
+bool Sdg::has_edge(const std::string& from, const std::string& to) const {
+  return edges_.count({index_of(from), index_of(to)}) > 0;
+}
+
+std::vector<int> Sdg::writers(const std::string& array) const {
+  std::vector<int> out;
+  const auto& sts = program_->statements;
+  for (std::size_t i = 0; i < sts.size(); ++i) {
+    if (sts[i].output.array == array) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Sdg::readers(const std::string& array) const {
+  std::vector<int> out;
+  const auto& sts = program_->statements;
+  for (std::size_t i = 0; i < sts.size(); ++i) {
+    if (sts[i].reads(array)) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool Sdg::adjacent(const std::string& a, const std::string& b) const {
+  if (has_edge(a, b) || has_edge(b, a)) return true;
+  // Shared accessed array between the writers of a and b.
+  for (int sa : writers(a)) {
+    const Statement& st_a = program_->statements[static_cast<std::size_t>(sa)];
+    for (int sb : writers(b)) {
+      const Statement& st_b =
+          program_->statements[static_cast<std::size_t>(sb)];
+      for (const ArrayAccess& ia : st_a.inputs) {
+        if (st_b.reads(ia.array)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string Sdg::dot() const {
+  std::ostringstream os;
+  os << "digraph sdg {\n";
+  for (const std::string& a : arrays_) {
+    bool is_input = false;
+    for (const std::string& i : inputs_) is_input |= i == a;
+    os << "  \"" << a << "\"" << (is_input ? " [shape=box]" : "") << ";\n";
+  }
+  for (const auto& [u, v] : edges_) {
+    os << "  \"" << arrays_[static_cast<std::size_t>(u)] << "\" -> \""
+       << arrays_[static_cast<std::size_t>(v)] << "\";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace soap::sdg

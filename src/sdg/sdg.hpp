@@ -1,0 +1,59 @@
+// Symbolic Directed Graph (Definition 5 of the paper): one vertex per array,
+// an edge (A, B) when some statement reads A and writes B.  Self-edges mark
+// updated arrays.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "soap/statement.hpp"
+
+namespace soap::sdg {
+
+class Sdg {
+ public:
+  static Sdg build(const Program& program);
+
+  [[nodiscard]] const std::vector<std::string>& arrays() const {
+    return arrays_;
+  }
+  [[nodiscard]] int index_of(const std::string& array) const;
+  [[nodiscard]] bool has_edge(const std::string& from,
+                              const std::string& to) const;
+  [[nodiscard]] const std::set<std::pair<int, int>>& edges() const {
+    return edges_;
+  }
+  /// Arrays with in-degree zero (set I in the paper).
+  [[nodiscard]] const std::vector<std::string>& input_arrays() const {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& computed_arrays() const {
+    return computed_;
+  }
+  /// Statements whose output is `array` (indices into the program).
+  [[nodiscard]] std::vector<int> writers(const std::string& array) const;
+  /// Statements reading `array`.
+  [[nodiscard]] std::vector<int> readers(const std::string& array) const;
+
+  /// Two computed arrays are "adjacent" for subgraph enumeration when they
+  /// are connected by an SDG edge or share a common accessed array (the
+  /// merged subcomputation then shares loads, which is what makes merging
+  /// profitable, cf. atax / mvt).
+  [[nodiscard]] bool adjacent(const std::string& a, const std::string& b) const;
+
+  [[nodiscard]] std::string dot() const;  ///< Graphviz rendering
+
+  [[nodiscard]] const Program& program() const { return *program_; }
+
+ private:
+  const Program* program_ = nullptr;
+  std::vector<std::string> arrays_;
+  std::map<std::string, int> index_;
+  std::set<std::pair<int, int>> edges_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> computed_;
+};
+
+}  // namespace soap::sdg

@@ -1,0 +1,63 @@
+#include "sdg/subgraph.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace soap::sdg {
+
+std::vector<std::vector<std::string>> enumerate_subgraphs(
+    const Sdg& sdg, std::size_t max_size, std::size_t max_count) {
+  const std::vector<std::string>& computed = sdg.computed_arrays();
+  const std::size_t n = computed.size();
+  // Adjacency among computed arrays.
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (sdg.adjacent(computed[i], computed[j])) {
+        adj[i].push_back(j);
+        adj[j].push_back(i);
+      }
+    }
+  }
+  // BFS over connected subsets: grow each subset by a neighbour with an index
+  // larger than the subset's minimum to avoid duplicates, dedup via a set.
+  std::set<std::vector<std::size_t>> seen;
+  std::vector<std::vector<std::size_t>> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    frontier.push_back({i});
+    seen.insert({i});
+  }
+  std::vector<std::vector<std::string>> out;
+  auto emit = [&](const std::vector<std::size_t>& subset) {
+    std::vector<std::string> names;
+    names.reserve(subset.size());
+    for (std::size_t i : subset) names.push_back(computed[i]);
+    out.push_back(std::move(names));
+  };
+  for (const auto& s : frontier) emit(s);
+  while (!frontier.empty() && out.size() < max_count) {
+    std::vector<std::vector<std::size_t>> next;
+    for (const auto& subset : frontier) {
+      if (subset.size() >= max_size) continue;
+      // Candidate extensions: neighbours of any member.
+      std::set<std::size_t> cand;
+      for (std::size_t v : subset) {
+        for (std::size_t w : adj[v]) cand.insert(w);
+      }
+      for (std::size_t w : cand) {
+        if (std::binary_search(subset.begin(), subset.end(), w)) continue;
+        std::vector<std::size_t> grown = subset;
+        grown.insert(std::lower_bound(grown.begin(), grown.end(), w), w);
+        if (!seen.insert(grown).second) continue;
+        emit(grown);
+        next.push_back(std::move(grown));
+        if (out.size() >= max_count) break;
+      }
+      if (out.size() >= max_count) break;
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace soap::sdg

@@ -1,0 +1,21 @@
+// Enumeration of SDG subgraphs (Section 6.1): connected subsets of computed
+// arrays, each of which induces a "subgraph SOAP statement" whose intensity
+// bounds the subcomputations spanning those arrays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdg/sdg.hpp"
+
+namespace soap::sdg {
+
+/// All connected subsets of the computed arrays with size <= max_size
+/// (connectivity per Sdg::adjacent, which includes shared-input adjacency).
+/// The enumeration is capped at max_count subsets (largest programs in the
+/// corpus stay far below it; the paper notes its approach scales to ~35
+/// statements).
+std::vector<std::vector<std::string>> enumerate_subgraphs(
+    const Sdg& sdg, std::size_t max_size, std::size_t max_count = 100000);
+
+}  // namespace soap::sdg

@@ -1,0 +1,30 @@
+// SOAP validity diagnostics (Section 3 definition, properties (5)-(7)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soap/statement.hpp"
+
+namespace soap {
+
+struct SoapViolation {
+  std::string statement;
+  std::string array;
+  std::string reason;
+};
+
+/// Checks the SOAP properties for every statement:
+///   * every access-function vector is a simple overlap (components equal up
+///     to constant translations),
+///   * subscripts are injective affine forms (unit coefficient per variable,
+///     no repeated variable across dimensions) unless covered by a
+///     max-overlap hint,
+///   * input/output accesses of the same array jointly form a simple overlap.
+/// Violations are reported, not fatal: Section 5 projections (split disjoint
+/// accesses, version dimensions, overlap bounds) handle them downstream.
+std::vector<SoapViolation> check_soap(const Program& program);
+
+inline bool is_soap(const Program& program) { return check_soap(program).empty(); }
+
+}  // namespace soap

@@ -1,0 +1,150 @@
+#include "soap/statement.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace soap {
+
+const ArrayAccess* Statement::input_for(const std::string& array) const {
+  for (const ArrayAccess& in : inputs) {
+    if (in.array == array) return &in;
+  }
+  return nullptr;
+}
+
+std::string Statement::str() const {
+  std::ostringstream os;
+  os << domain.str();
+  os << std::string(2 * domain.depth(), ' ') << name << ": "
+     << output.str() << " = f(";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (i) os << ", ";
+    os << inputs[i].str();
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<std::string> Program::arrays() const {
+  std::set<std::string> names;
+  for (const Statement& st : statements) {
+    names.insert(st.output.array);
+    for (const ArrayAccess& in : st.inputs) names.insert(in.array);
+  }
+  return {names.begin(), names.end()};
+}
+
+std::vector<std::string> Program::input_arrays() const {
+  std::set<std::string> written;
+  for (const Statement& st : statements) written.insert(st.output.array);
+  std::vector<std::string> out;
+  for (const std::string& a : arrays()) {
+    if (!written.count(a)) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<std::string> Program::computed_arrays() const {
+  std::set<std::string> written;
+  for (const Statement& st : statements) written.insert(st.output.array);
+  return {written.begin(), written.end()};
+}
+
+namespace {
+
+// Leading-order extent of an affine subscript over the statement's domain:
+// for  c0 + sum c_i v_i  the index sweeps roughly sum |c_i| * extent(v_i)
+// values; we use the leading term of that sum.
+sym::Expr subscript_extent(const Affine& idx, const Domain& dom) {
+  sym::Expr total(0);
+  bool any = false;
+  for (const auto& [v, c] : idx.coeffs()) {
+    for (const Loop& l : dom.loops()) {
+      if (l.var == v) {
+        sym::Polynomial extent = affine_to_polynomial(l.upper) -
+                                 affine_to_polynomial(l.lower);
+        total = total + sym::Expr(c.abs()) * extent.leading_terms().to_expr();
+        any = true;
+      }
+    }
+  }
+  if (!any) return sym::Expr(1);
+  return total;
+}
+
+}  // namespace
+
+sym::Expr Program::array_cdag_size(const std::string& array) const {
+  auto hint = array_size_hint.find(array);
+  if (hint != array_size_hint.end()) return hint->second;
+
+  // Computed array: one vertex per write.
+  sym::Expr computed(0);
+  bool written = false;
+  for (const Statement& st : statements) {
+    if (st.output.array == array) {
+      computed = computed + st.domain.cardinality().leading_terms().to_expr();
+      written = true;
+    }
+  }
+  if (written) return computed;
+
+  // Pure input: bounding box of the accesses (leading order); take the max
+  // over reading statements.
+  std::vector<sym::Expr> candidates;
+  for (const Statement& st : statements) {
+    const ArrayAccess* acc = st.input_for(array);
+    if (acc == nullptr || acc->components.empty()) continue;
+    sym::Expr box(1);
+    for (const Affine& idx : acc->components[0].index) {
+      box = box * subscript_extent(idx, st.domain);
+    }
+    candidates.push_back(box);
+  }
+  if (candidates.empty()) return sym::Expr(0);
+  if (candidates.size() == 1) return candidates[0];
+  return sym::max(candidates);
+}
+
+sym::Expr Program::array_element_count(const std::string& array) const {
+  auto hint = array_size_hint.find(array);
+  if (hint != array_size_hint.end()) return hint->second;
+  std::vector<sym::Expr> candidates;
+  auto add_access = [&candidates](const ArrayAccess& acc, const Domain& dom) {
+    if (acc.components.empty()) return;
+    sym::Expr box(1);
+    for (const Affine& idx : acc.components[0].index) {
+      box = box * subscript_extent(idx, dom);
+    }
+    candidates.push_back(box);
+  };
+  for (const Statement& st : statements) {
+    if (st.output.array == array) add_access(st.output, st.domain);
+    const ArrayAccess* in = st.input_for(array);
+    if (in != nullptr) add_access(*in, st.domain);
+  }
+  if (candidates.empty()) return sym::Expr(0);
+  if (candidates.size() == 1) return candidates[0];
+  return sym::max(candidates);
+}
+
+std::vector<std::string> Program::terminal_arrays() const {
+  std::vector<std::string> out;
+  for (const std::string& a : computed_arrays()) {
+    bool external_read = false;
+    for (const Statement& st : statements) {
+      if (st.output.array != a && st.reads(a)) external_read = true;
+    }
+    if (!external_read) out.push_back(a);
+  }
+  return out;
+}
+
+std::string Program::str() const {
+  std::string out;
+  for (const Statement& st : statements) out += st.str() + "\n";
+  return out;
+}
+
+}  // namespace soap

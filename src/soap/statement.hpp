@@ -1,0 +1,69 @@
+// SOAP statements and programs (Section 3 of the paper): a statement is a
+// constant-time function evaluated over a loop nest, reading input arrays
+// through access-function vectors and writing one output array.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soap/access.hpp"
+#include "soap/domain.hpp"
+
+namespace soap {
+
+struct Statement {
+  std::string name;
+  Domain domain;
+  ArrayAccess output;
+  /// One entry per distinct input array (components merged per array).
+  std::vector<ArrayAccess> inputs;
+  /// Section 5.3 hints: array -> dimensions whose multi-variable index is
+  /// treated with the maximal-overlap rule |g[H]| >= max_i |D_i| (the
+  /// sigma = 1 convolution case).  Dimensions not listed use the injective
+  /// product rule.
+  std::map<std::string, std::vector<int>> max_overlap_dims;
+
+  [[nodiscard]] const ArrayAccess* input_for(const std::string& array) const;
+  [[nodiscard]] bool reads(const std::string& array) const {
+    return input_for(array) != nullptr;
+  }
+  [[nodiscard]] bool updates_output() const {
+    return input_for(output.array) != nullptr;
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+struct Program {
+  std::vector<Statement> statements;
+  /// Optional overrides for symbolic array sizes (element counts) used by the
+  /// SDG accounting (Theorem 1); arrays not listed get sizes inferred from
+  /// the statements that write them / the accesses that read them.
+  std::map<std::string, sym::Expr> array_size_hint;
+
+  /// All array names appearing anywhere in the program.
+  [[nodiscard]] std::vector<std::string> arrays() const;
+  /// Arrays that are never written by any statement (SDG input set I).
+  [[nodiscard]] std::vector<std::string> input_arrays() const;
+  /// Arrays written by at least one statement.
+  [[nodiscard]] std::vector<std::string> computed_arrays() const;
+  /// Number of CDAG vertices belonging to `array`:
+  ///   * computed arrays: sum of |D| of the statements writing it (each
+  ///     execution produces one new version vertex);
+  ///   * pure inputs: the bounding-box size of the union of read accesses.
+  [[nodiscard]] sym::Expr array_cdag_size(const std::string& array) const;
+
+  /// Number of distinct elements of `array` the program touches (leading
+  /// order): the largest access bounding box over all reads and writes.
+  /// Used by the cold bound (each touched input element is loaded and each
+  /// terminal output element stored at least once).
+  [[nodiscard]] sym::Expr array_element_count(const std::string& array) const;
+
+  /// Computed arrays never read by any statement other than their writers
+  /// (the program's live outputs).
+  [[nodiscard]] std::vector<std::string> terminal_arrays() const;
+
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace soap

@@ -1,0 +1,272 @@
+#include "support/rational.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+
+namespace soap {
+
+namespace {
+
+constexpr int128 kInt128Max =
+    (int128{0x7fffffffffffffffLL} << 64) | int128{0xffffffffffffffffULL};
+constexpr int128 kInt128Min = -kInt128Max - 1;
+
+int128 abs128(int128 v) { return v < 0 ? -v : v; }
+
+}  // namespace
+
+int128 gcd128(int128 a, int128 b) {
+  a = abs128(a);
+  b = abs128(b);
+  while (b != 0) {
+    int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+int128 add_checked(int128 a, int128 b) {
+  int128 r;
+  if (__builtin_add_overflow(a, b, &r)) {
+    throw OverflowError("int128 add overflow");
+  }
+  return r;
+}
+
+int128 mul_checked(int128 a, int128 b) {
+  int128 r;
+  // __builtin_mul_overflow is well-defined for __int128 and safe under
+  // optimization (a manual r/b != a check is UB-prone: the compiler may
+  // assume signed overflow never happens and elide it).
+  if (__builtin_mul_overflow(a, b, &r)) {
+    throw OverflowError("int128 mul overflow");
+  }
+  return r;
+}
+
+std::string int128_str(int128 v) {
+  if (v == 0) return "0";
+  bool neg = v < 0;
+  // kInt128Min cannot be negated; peel the last digit first.
+  std::string out;
+  while (v != 0) {
+    int digit = static_cast<int>(v % 10);
+    if (digit < 0) digit = -digit;
+    out.push_back(static_cast<char>('0' + digit));
+    v /= 10;
+  }
+  if (neg) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+Rational::Rational(int128 num, int128 den) {
+  if (den == 0) throw std::domain_error("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  int128 g = gcd128(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  num_ = num;
+  den_ = den;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+long long Rational::to_int() const {
+  if (den_ != 1) throw std::logic_error("Rational::to_int on non-integer");
+  if (num_ > std::numeric_limits<long long>::max() ||
+      num_ < std::numeric_limits<long long>::min()) {
+    throw OverflowError("Rational::to_int overflow");
+  }
+  return static_cast<long long>(num_);
+}
+
+std::string Rational::str() const {
+  if (den_ == 1) return int128_str(num_);
+  return int128_str(num_) + "/" + int128_str(den_);
+}
+
+Rational Rational::operator-() const { return Rational(-num_, den_); }
+
+Rational operator+(const Rational& a, const Rational& b) {
+  int128 g = gcd128(a.den_, b.den_);
+  int128 bd = b.den_ / g;
+  int128 num = add_checked(mul_checked(a.num_, bd),
+                           mul_checked(b.num_, a.den_ / g));
+  int128 den = mul_checked(a.den_, bd);
+  return Rational(num, den);
+}
+
+Rational operator-(const Rational& a, const Rational& b) { return a + (-b); }
+
+Rational operator*(const Rational& a, const Rational& b) {
+  // Cross-cancel before multiplying to keep magnitudes small.
+  int128 g1 = gcd128(a.num_, b.den_);
+  int128 g2 = gcd128(b.num_, a.den_);
+  return Rational(mul_checked(a.num_ / g1, b.num_ / g2),
+                  mul_checked(a.den_ / g2, b.den_ / g1));
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  return a * b.inverse();
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  // a.num/a.den < b.num/b.den  <=>  a.num*b.den < b.num*a.den (dens > 0).
+  return mul_checked(a.num_, b.den_) < mul_checked(b.num_, a.den_);
+}
+
+Rational Rational::abs() const { return num_ < 0 ? -*this : *this; }
+
+Rational Rational::inverse() const {
+  if (num_ == 0) throw std::domain_error("Rational: divide by zero");
+  return Rational(den_, num_);
+}
+
+Rational Rational::pow(long long e) const {
+  if (e < 0) return inverse().pow(-e);
+  Rational base = *this;
+  Rational acc = 1;
+  while (e > 0) {
+    if (e & 1) acc *= base;
+    base = (e > 1) ? base * base : base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+int128 Rational::floor() const {
+  int128 q = num_ / den_;
+  if (num_ < 0 && num_ % den_ != 0) --q;
+  return q;
+}
+
+namespace {
+
+// Exact integer n-th root: returns true and sets *root if v is a perfect
+// n-th power (v >= 0).
+bool int_nth_root(int128 v, long long n, int128* root) {
+  if (v < 0) return false;
+  if (v == 0 || v == 1) {
+    *root = v;
+    return true;
+  }
+  // Newton-style search seeded from double.
+  double guess = std::pow(static_cast<double>(v), 1.0 / static_cast<double>(n));
+  int128 lo = static_cast<int128>(guess) - 2;
+  if (lo < 1) lo = 1;
+  for (int128 r = lo; r <= lo + 4; ++r) {
+    int128 p = 1;
+    bool over = false;
+    for (long long i = 0; i < n; ++i) {
+      try {
+        p = mul_checked(p, r);
+      } catch (const OverflowError&) {
+        over = true;
+        break;
+      }
+      if (p > v) break;
+    }
+    if (!over && p == v) {
+      *root = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Rational::nth_root(long long n, Rational* out) const {
+  if (n <= 0) return false;
+  if (num_ < 0) return false;
+  int128 rn = 0, rd = 0;
+  if (!int_nth_root(num_, n, &rn)) return false;
+  if (!int_nth_root(den_, n, &rd)) return false;
+  *out = Rational(rn, rd);
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.str();
+}
+
+Rational rationalize(double x, long long max_den) {
+  if (!std::isfinite(x)) throw std::domain_error("rationalize: non-finite");
+  bool neg = x < 0;
+  if (neg) x = -x;
+  // Continued fraction expansion keeping convergents p/q with q <= max_den.
+  long long p0 = 0, q0 = 1, p1 = 1, q1 = 0;
+  double frac = x;
+  for (int it = 0; it < 64; ++it) {
+    double fl = std::floor(frac);
+    if (fl > 9e17) break;
+    long long a = static_cast<long long>(fl);
+    long long p2, q2;
+    if (__builtin_mul_overflow(a, p1, &p2) ||
+        __builtin_add_overflow(p2, p0, &p2) ||
+        __builtin_mul_overflow(a, q1, &q2) ||
+        __builtin_add_overflow(q2, q0, &q2)) {
+      break;
+    }
+    if (q2 > max_den) break;
+    p0 = p1;
+    q0 = q1;
+    p1 = p2;
+    q1 = q2;
+    double rem = frac - fl;
+    if (rem < 1e-12) break;
+    frac = 1.0 / rem;
+  }
+  if (q1 == 0) return Rational(0);
+  Rational r(p1, q1);
+  return neg ? -r : r;
+}
+
+bool rationalize_within(double x, double rel_tol, long long max_den,
+                        Rational* out) {
+  if (!std::isfinite(x)) return false;
+  bool neg = x < 0;
+  double ax = neg ? -x : x;
+  long long p0 = 0, q0 = 1, p1 = 1, q1 = 0;
+  double frac = ax;
+  for (int it = 0; it < 64; ++it) {
+    double fl = std::floor(frac);
+    if (fl > 9e17) break;
+    long long a = static_cast<long long>(fl);
+    long long p2, q2;
+    if (__builtin_mul_overflow(a, p1, &p2) ||
+        __builtin_add_overflow(p2, p0, &p2) ||
+        __builtin_mul_overflow(a, q1, &q2) ||
+        __builtin_add_overflow(q2, q0, &q2)) {
+      break;
+    }
+    if (q2 > max_den) break;
+    p0 = p1;
+    q0 = q1;
+    p1 = p2;
+    q1 = q2;
+    // First convergent within tolerance wins: smallest denominator.
+    double approx = static_cast<double>(p1) / static_cast<double>(q1);
+    if (std::fabs(approx - ax) <= rel_tol * std::max(1e-300, ax)) {
+      Rational r(p1, q1);
+      *out = neg ? -r : r;
+      return true;
+    }
+    double rem = frac - fl;
+    if (rem < 1e-15) break;
+    frac = 1.0 / rem;
+  }
+  return false;
+}
+
+}  // namespace soap

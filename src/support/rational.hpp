@@ -1,0 +1,114 @@
+// Exact rational arithmetic on checked 128-bit integers.
+//
+// The symbolic engine (src/symbolic) keeps every coefficient exact; Table 2
+// bounds carry constants such as 1/3 or 32/(3*cbrt(3)) whose integrity we must
+// preserve end to end.  128-bit magnitude is far beyond what the analysis of
+// the paper's kernel corpus produces; overflow aborts loudly instead of
+// silently wrapping.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace soap {
+
+/// Signed 128-bit integer used as the numerator/denominator storage type.
+using int128 = __int128;
+
+/// Thrown when exact arithmetic would exceed 128-bit magnitude.
+class OverflowError : public std::runtime_error {
+ public:
+  explicit OverflowError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An always-normalized rational number p/q with q > 0 and gcd(p, q) == 1.
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  constexpr Rational(long long n) : num_(n), den_(1) {}  // NOLINT(implicit)
+  Rational(int128 num, int128 den);
+
+  [[nodiscard]] int128 num() const { return num_; }
+  [[nodiscard]] int128 den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_one() const { return num_ == 1 && den_ == 1; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+  [[nodiscard]] bool is_negative() const { return num_ < 0; }
+  [[nodiscard]] bool is_positive() const { return num_ > 0; }
+
+  [[nodiscard]] double to_double() const;
+  /// Requires is_integer(); throws std::logic_error otherwise.
+  [[nodiscard]] long long to_int() const;
+  [[nodiscard]] std::string str() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return !(b < a);
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return !(a < b);
+  }
+
+  /// abs(p)/q.
+  [[nodiscard]] Rational abs() const;
+  /// Reciprocal; throws std::domain_error on zero.
+  [[nodiscard]] Rational inverse() const;
+  /// Integer power (exponent may be negative; 0^negative throws).
+  [[nodiscard]] Rational pow(long long e) const;
+  /// Floor of the rational as an int128.
+  [[nodiscard]] int128 floor() const;
+
+  /// Exact n-th root if it exists (e.g. (8/27).nth_root(3) == 2/3).
+  /// Returns false if the rational is not a perfect n-th power.
+  bool nth_root(long long n, Rational* out) const;
+
+ private:
+  int128 num_;
+  int128 den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// gcd on int128 magnitudes.
+int128 gcd128(int128 a, int128 b);
+/// Checked int128 multiply; throws OverflowError.
+int128 mul_checked(int128 a, int128 b);
+/// Checked int128 add; throws OverflowError.
+int128 add_checked(int128 a, int128 b);
+/// Decimal rendering of an int128.
+std::string int128_str(int128 v);
+
+/// Best rational approximation of `x` with denominator <= max_den
+/// (continued-fraction convergents).  Used to recover exact exponents and
+/// constants from the numeric optimizer's output.
+Rational rationalize(double x, long long max_den);
+
+/// Smallest-denominator continued-fraction convergent of `x` within the given
+/// relative tolerance, or std::nullopt-like failure signalled by returning
+/// false.  Prefers simple constants (1/8, 4/27, ...) over high-denominator
+/// coincidences, which matters when snapping numerically-fitted constants.
+bool rationalize_within(double x, double rel_tol, long long max_den,
+                        Rational* out);
+
+}  // namespace soap

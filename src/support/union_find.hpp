@@ -1,0 +1,46 @@
+// Disjoint-set forest with path compression and union by size.
+// Used by the SDG merge pass (src/sdg/merge.cpp) to unify iteration variables
+// of different statements that index the same array dimension.
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace soap {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns the new root (no-op if already joined).
+  std::size_t unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return a;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return a;
+  }
+
+  bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
+
+  [[nodiscard]] std::size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace soap

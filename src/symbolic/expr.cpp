@@ -1,0 +1,655 @@
+#include "symbolic/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace soap::sym {
+
+namespace {
+
+NodePtr make_node(Node n) { return std::make_shared<const Node>(std::move(n)); }
+
+int kind_rank(Kind k) { return static_cast<int>(k); }
+
+int cmp_rational(const Rational& a, const Rational& b) {
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+/// Extracts from |v| the largest factor that is a perfect q-th power:
+/// v = root^q * rest.  Trial division; constants arising in SOAP analysis
+/// are small (offsets, statement counts).
+void extract_qth_power(int128 v, long long q, int128* root, int128* rest) {
+  *root = 1;
+  *rest = 1;
+  for (int128 p = 2; p * p <= v && p < 100000; ++p) {
+    int mult = 0;
+    while (v % p == 0) {
+      v /= p;
+      ++mult;
+    }
+    for (int i = 0; i < mult / q; ++i) *root = mul_checked(*root, p);
+    for (int i = 0; i < mult % static_cast<int>(q); ++i)
+      *rest = mul_checked(*rest, p);
+  }
+  *rest = mul_checked(*rest, v);
+}
+
+}  // namespace
+
+Expr make_add(std::vector<Expr> terms);
+Expr make_mul(std::vector<Expr> factors);
+
+Expr::Expr() : Expr(Rational(0)) {}
+Expr::Expr(long long v) : Expr(Rational(v)) {}
+Expr::Expr(const Rational& r)
+    : node_(make_node(Node{Kind::kConst, r, {}, {}, Rational(0)})) {}
+
+Expr Expr::symbol(const std::string& name) {
+  return Expr(make_node(Node{Kind::kSymbol, Rational(0), name, {}, Rational(0)}));
+}
+
+const Rational& Expr::value() const {
+  if (!is_const()) throw std::logic_error("Expr::value on non-constant");
+  return node_->value;
+}
+
+const std::string& Expr::name() const {
+  if (kind() != Kind::kSymbol) throw std::logic_error("Expr::name on non-symbol");
+  return node_->name;
+}
+
+int Expr::compare(const Expr& a, const Expr& b) {
+  if (a.node_ == b.node_) return 0;
+  if (a.kind() != b.kind()) return kind_rank(a.kind()) - kind_rank(b.kind());
+  switch (a.kind()) {
+    case Kind::kConst:
+      return cmp_rational(a.value(), b.value());
+    case Kind::kSymbol:
+      return a.name().compare(b.name());
+    case Kind::kPow: {
+      int c = compare(a.operands()[0], b.operands()[0]);
+      if (c != 0) return c;
+      return cmp_rational(a.exponent(), b.exponent());
+    }
+    default: {
+      const auto& oa = a.operands();
+      const auto& ob = b.operands();
+      for (std::size_t i = 0; i < std::min(oa.size(), ob.size()); ++i) {
+        int c = compare(oa[i], ob[i]);
+        if (c != 0) return c;
+      }
+      return static_cast<int>(oa.size()) - static_cast<int>(ob.size());
+    }
+  }
+}
+
+namespace {
+
+struct ExprLess {
+  bool operator()(const Expr& a, const Expr& b) const {
+    return Expr::compare(a, b) < 0;
+  }
+};
+
+}  // namespace
+
+std::pair<Rational, Expr> split_coefficient(const Expr& term) {
+  if (term.is_const()) return {term.value(), Expr(1)};
+  if (term.kind() == Kind::kMul) {
+    const auto& ops = term.operands();
+    if (!ops.empty() && ops[0].is_const()) {
+      std::vector<Expr> rest(ops.begin() + 1, ops.end());
+      return {ops[0].value(), make_mul(std::move(rest))};
+    }
+  }
+  return {Rational(1), term};
+}
+
+Expr make_add(std::vector<Expr> terms) {
+  // Flatten, fold constants, combine like terms.
+  Rational const_sum = 0;
+  std::map<Expr, Rational, ExprLess> by_core;
+  std::vector<Expr> work = std::move(terms);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const Expr& t = work[i];
+    if (t.kind() == Kind::kAdd) {
+      for (const Expr& sub : t.operands()) work.push_back(sub);
+      continue;
+    }
+    if (t.is_const()) {
+      const_sum += t.value();
+      continue;
+    }
+    auto [coeff, core] = split_coefficient(t);
+    by_core[core] += coeff;
+  }
+  std::vector<Expr> out;
+  if (!const_sum.is_zero()) out.emplace_back(const_sum);
+  for (const auto& [core, coeff] : by_core) {
+    if (coeff.is_zero()) continue;
+    if (coeff.is_one()) {
+      out.push_back(core);
+    } else {
+      out.push_back(make_mul({Expr(coeff), core}));
+    }
+  }
+  if (out.empty()) return Expr(0);
+  if (out.size() == 1) return out[0];
+  std::sort(out.begin(), out.end(),
+            [](const Expr& a, const Expr& b) { return Expr::compare(a, b) < 0; });
+  return Expr(make_node(
+      Node{Kind::kAdd, Rational(0), {}, std::move(out), Rational(0)}));
+}
+
+Expr make_mul(std::vector<Expr> factors) {
+  Rational const_prod = 1;
+  // base -> accumulated exponent.
+  std::map<Expr, Rational, ExprLess> by_base;
+  std::vector<Expr> work = std::move(factors);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const Expr& f = work[i];
+    if (f.kind() == Kind::kMul) {
+      for (const Expr& sub : f.operands()) work.push_back(sub);
+      continue;
+    }
+    if (f.is_const()) {
+      const_prod *= f.value();
+      continue;
+    }
+    if (f.kind() == Kind::kPow) {
+      by_base[f.operands()[0]] += f.exponent();
+    } else {
+      by_base[f] += Rational(1);
+    }
+  }
+  if (const_prod.is_zero()) return Expr(0);
+  // Combine constant radicals with equal fractional exponents:
+  // sqrt(2)*sqrt(3) -> sqrt(6).  Group Const bases by exponent and multiply
+  // the radicands.
+  {
+    std::map<Rational, Rational, decltype([](const Rational& a,
+                                             const Rational& b) {
+               return a < b;
+             })>
+        radicals;
+    for (auto it = by_base.begin(); it != by_base.end();) {
+      if (it->first.is_const() && !it->second.is_integer()) {
+        Rational& acc = radicals.try_emplace(it->second, Rational(1))
+                            .first->second;
+        acc *= it->first.value();
+        it = by_base.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const auto& [e, radicand] : radicals) {
+      by_base[Expr(radicand)] += e;
+    }
+  }
+  std::vector<Expr> out;
+  for (const auto& [base, e] : by_base) {
+    if (e.is_zero()) continue;
+    Expr p = pow(base, e);  // may fold (e.g. const bases, nested pows)
+    if (p.is_const()) {
+      const_prod *= p.value();
+    } else if (p.kind() == Kind::kMul) {
+      // pow() of a constant can return c * radical; splice its factors in.
+      for (const Expr& sub : p.operands()) {
+        if (sub.is_const()) {
+          const_prod *= sub.value();
+        } else {
+          out.push_back(sub);
+        }
+      }
+    } else {
+      out.push_back(p);
+    }
+  }
+  if (out.empty()) return Expr(const_prod);
+  std::sort(out.begin(), out.end(),
+            [](const Expr& a, const Expr& b) { return Expr::compare(a, b) < 0; });
+  if (!const_prod.is_one()) {
+    out.insert(out.begin(), Expr(const_prod));
+  }
+  if (out.size() == 1) return out[0];
+  return Expr(make_node(
+      Node{Kind::kMul, Rational(0), {}, std::move(out), Rational(0)}));
+}
+
+Expr pow(const Expr& base, const Rational& e) {
+  if (e.is_zero()) return Expr(1);
+  if (e.is_one()) return base;
+  if (base.is_one()) return Expr(1);
+  if (base.is_zero()) {
+    if (e.is_negative()) throw std::domain_error("pow: 0^negative");
+    return Expr(0);
+  }
+  if (base.is_const()) {
+    const Rational& v = base.value();
+    if (e.is_integer()) return Expr(v.pow(e.to_int()));
+    // v^(p/q): fold the integer power, then pull out perfect q-th roots.
+    long long p = static_cast<long long>(e.num());
+    long long q = static_cast<long long>(e.den());
+    if (v.is_negative()) throw std::domain_error("pow: fractional power of negative constant");
+    Rational c = v.pow(p);
+    Rational exact;
+    if (c.nth_root(q, &exact)) return Expr(exact);
+    // Rationalize the denominator: (a/b)^(1/q) = (a * b^(q-1))^(1/q) / b,
+    // so the radicand is an integer and sqrt(3/2) renders as sqrt(6)/2.
+    int128 radicand =
+        mul_checked(c.num(), Rational(c.den(), 1).pow(q - 1).num());
+    int128 rn, sn;
+    extract_qth_power(radicand, q, &rn, &sn);
+    Rational outer = Rational(rn, c.den());
+    Rational rest(sn, 1);
+    Expr radical(make_node(Node{Kind::kPow, Rational(0), {},
+                                {Expr(rest)}, Rational(1, q)}));
+    if (outer.is_one()) return radical;
+    return make_mul({Expr(outer), radical});
+  }
+  if (base.kind() == Kind::kPow) {
+    return pow(base.operands()[0], base.exponent() * e);
+  }
+  if (base.kind() == Kind::kMul) {
+    std::vector<Expr> factors;
+    factors.reserve(base.operands().size());
+    for (const Expr& f : base.operands()) factors.push_back(pow(f, e));
+    return make_mul(std::move(factors));
+  }
+  return Expr(make_node(Node{Kind::kPow, Rational(0), {}, {base}, e}));
+}
+
+Expr min(std::vector<Expr> args) {
+  if (args.empty()) throw std::invalid_argument("min: no arguments");
+  // Flatten and fold constants (keep the smallest).
+  std::vector<Expr> out;
+  bool have_const = false;
+  Rational best = 0;
+  for (const Expr& a : args) {
+    if (a.kind() == Kind::kMin) {
+      for (const Expr& sub : a.operands()) args.push_back(sub);
+      continue;
+    }
+    if (a.is_const()) {
+      if (!have_const || a.value() < best) best = a.value();
+      have_const = true;
+    } else {
+      out.push_back(a);
+    }
+  }
+  if (have_const) out.emplace_back(best);
+  std::sort(out.begin(), out.end(),
+            [](const Expr& a, const Expr& b) { return Expr::compare(a, b) < 0; });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() == 1) return out[0];
+  return Expr(make_node(Node{Kind::kMin, Rational(0), {}, std::move(out), Rational(0)}));
+}
+
+Expr max(std::vector<Expr> args) {
+  if (args.empty()) throw std::invalid_argument("max: no arguments");
+  std::vector<Expr> out;
+  bool have_const = false;
+  Rational best = 0;
+  for (const Expr& a : args) {
+    if (a.kind() == Kind::kMax) {
+      for (const Expr& sub : a.operands()) args.push_back(sub);
+      continue;
+    }
+    if (a.is_const()) {
+      if (!have_const || a.value() > best) best = a.value();
+      have_const = true;
+    } else {
+      out.push_back(a);
+    }
+  }
+  if (have_const) out.emplace_back(best);
+  std::sort(out.begin(), out.end(),
+            [](const Expr& a, const Expr& b) { return Expr::compare(a, b) < 0; });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (out.size() == 1) return out[0];
+  return Expr(make_node(Node{Kind::kMax, Rational(0), {}, std::move(out), Rational(0)}));
+}
+
+Expr operator+(const Expr& a, const Expr& b) { return make_add({a, b}); }
+Expr operator-(const Expr& a, const Expr& b) {
+  return make_add({a, make_mul({Expr(-1), b})});
+}
+Expr operator-(const Expr& a) { return make_mul({Expr(-1), a}); }
+Expr operator*(const Expr& a, const Expr& b) { return make_mul({a, b}); }
+Expr operator/(const Expr& a, const Expr& b) {
+  return make_mul({a, pow(b, Rational(-1))});
+}
+
+double Expr::eval(const std::map<std::string, double>& env) const {
+  switch (kind()) {
+    case Kind::kConst:
+      return value().to_double();
+    case Kind::kSymbol: {
+      auto it = env.find(name());
+      if (it == env.end())
+        throw std::out_of_range("Expr::eval: unbound symbol " + name());
+      return it->second;
+    }
+    case Kind::kAdd: {
+      double s = 0;
+      for (const Expr& t : operands()) s += t.eval(env);
+      return s;
+    }
+    case Kind::kMul: {
+      double p = 1;
+      for (const Expr& f : operands()) p *= f.eval(env);
+      return p;
+    }
+    case Kind::kPow:
+      return std::pow(operands()[0].eval(env), exponent().to_double());
+    case Kind::kMin: {
+      double m = operands()[0].eval(env);
+      for (std::size_t i = 1; i < operands().size(); ++i)
+        m = std::min(m, operands()[i].eval(env));
+      return m;
+    }
+    case Kind::kMax: {
+      double m = operands()[0].eval(env);
+      for (std::size_t i = 1; i < operands().size(); ++i)
+        m = std::max(m, operands()[i].eval(env));
+      return m;
+    }
+  }
+  throw std::logic_error("Expr::eval: bad kind");
+}
+
+Expr Expr::subs(const std::map<std::string, Expr>& env) const {
+  switch (kind()) {
+    case Kind::kConst:
+      return *this;
+    case Kind::kSymbol: {
+      auto it = env.find(name());
+      return it == env.end() ? *this : it->second;
+    }
+    case Kind::kAdd: {
+      std::vector<Expr> ts;
+      ts.reserve(operands().size());
+      for (const Expr& t : operands()) ts.push_back(t.subs(env));
+      return make_add(std::move(ts));
+    }
+    case Kind::kMul: {
+      std::vector<Expr> fs;
+      fs.reserve(operands().size());
+      for (const Expr& f : operands()) fs.push_back(f.subs(env));
+      return make_mul(std::move(fs));
+    }
+    case Kind::kPow:
+      return pow(operands()[0].subs(env), exponent());
+    case Kind::kMin: {
+      std::vector<Expr> as;
+      for (const Expr& a : operands()) as.push_back(a.subs(env));
+      return min(std::move(as));
+    }
+    case Kind::kMax: {
+      std::vector<Expr> as;
+      for (const Expr& a : operands()) as.push_back(a.subs(env));
+      return max(std::move(as));
+    }
+  }
+  throw std::logic_error("Expr::subs: bad kind");
+}
+
+Expr Expr::diff(const std::string& var) const {
+  switch (kind()) {
+    case Kind::kConst:
+      return Expr(0);
+    case Kind::kSymbol:
+      return name() == var ? Expr(1) : Expr(0);
+    case Kind::kAdd: {
+      std::vector<Expr> ts;
+      for (const Expr& t : operands()) ts.push_back(t.diff(var));
+      return make_add(std::move(ts));
+    }
+    case Kind::kMul: {
+      // Product rule: sum_i f_i' * prod_{j != i} f_j.
+      std::vector<Expr> terms;
+      const auto& ops = operands();
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        Expr d = ops[i].diff(var);
+        if (d.is_zero()) continue;
+        std::vector<Expr> fs = {d};
+        for (std::size_t j = 0; j < ops.size(); ++j)
+          if (j != i) fs.push_back(ops[j]);
+        terms.push_back(make_mul(std::move(fs)));
+      }
+      return make_add(std::move(terms));
+    }
+    case Kind::kPow: {
+      const Expr& b = operands()[0];
+      Expr d = b.diff(var);
+      if (d.is_zero()) return Expr(0);
+      return make_mul({Expr(exponent()), pow(b, exponent() - Rational(1)), d});
+    }
+    case Kind::kMin:
+    case Kind::kMax:
+      throw std::domain_error("Expr::diff: min/max not differentiable");
+  }
+  throw std::logic_error("Expr::diff: bad kind");
+}
+
+namespace {
+
+void collect_symbols(const Expr& e, std::vector<std::string>* out) {
+  if (e.kind() == Kind::kSymbol) {
+    out->push_back(e.name());
+    return;
+  }
+  for (const Expr& o : e.operands()) collect_symbols(o, out);
+}
+
+}  // namespace
+
+std::vector<std::string> Expr::symbols() const {
+  std::vector<std::string> out;
+  collect_symbols(*this, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Expr::contains(const std::string& var) const {
+  if (kind() == Kind::kSymbol) return name() == var;
+  for (const Expr& o : operands())
+    if (o.contains(var)) return true;
+  return false;
+}
+
+Expr expand(const Expr& e) {
+  switch (e.kind()) {
+    case Kind::kConst:
+    case Kind::kSymbol:
+      return e;
+    case Kind::kAdd: {
+      std::vector<Expr> ts;
+      for (const Expr& t : e.operands()) ts.push_back(expand(t));
+      return make_add(std::move(ts));
+    }
+    case Kind::kMul: {
+      // Expand factors, then distribute over sums left to right.
+      std::vector<Expr> partial = {Expr(1)};
+      for (const Expr& f0 : e.operands()) {
+        Expr f = expand(f0);
+        std::vector<Expr> next;
+        const std::vector<Expr> addends =
+            f.kind() == Kind::kAdd ? f.operands() : std::vector<Expr>{f};
+        for (const Expr& p : partial)
+          for (const Expr& a : addends) next.push_back(make_mul({p, a}));
+        partial = std::move(next);
+      }
+      return make_add(std::move(partial));
+    }
+    case Kind::kPow: {
+      Expr b = expand(e.operands()[0]);
+      const Rational& ex = e.exponent();
+      if (b.kind() == Kind::kAdd && ex.is_integer() && ex > Rational(1) &&
+          ex <= Rational(8)) {
+        // Distribute manually: going through operator* would re-canonicalize
+        // b*b into this very Pow and recurse forever.
+        const std::vector<Expr>& bt = b.operands();
+        std::vector<Expr> acc = {Expr(1)};
+        for (long long i = 0; i < ex.to_int(); ++i) {
+          std::vector<Expr> next;
+          next.reserve(acc.size() * bt.size());
+          for (const Expr& p : acc) {
+            for (const Expr& t : bt) next.push_back(make_mul({p, t}));
+          }
+          acc = std::move(next);
+        }
+        return make_add(std::move(acc));
+      }
+      return pow(b, ex);
+    }
+    case Kind::kMin: {
+      std::vector<Expr> as;
+      for (const Expr& a : e.operands()) as.push_back(expand(a));
+      return min(std::move(as));
+    }
+    case Kind::kMax: {
+      std::vector<Expr> as;
+      for (const Expr& a : e.operands()) as.push_back(expand(a));
+      return max(std::move(as));
+    }
+  }
+  throw std::logic_error("expand: bad kind");
+}
+
+namespace {
+
+bool needs_parens_in_product(const Expr& e) { return e.kind() == Kind::kAdd; }
+
+std::string render(const Expr& e);
+
+std::string render_pow(const Expr& base, const Rational& ex) {
+  std::string b = render(base);
+  if (needs_parens_in_product(base) || base.kind() == Kind::kMul ||
+      base.kind() == Kind::kPow) {
+    b = "(" + b + ")";
+  }
+  if (ex.is_one()) return b;
+  if (ex == Rational(1, 2)) return "sqrt(" + render(base) + ")";
+  if (ex == Rational(1, 3)) return "cbrt(" + render(base) + ")";
+  if (ex.is_integer()) return b + "^" + ex.str();
+  return b + "^(" + ex.str() + ")";
+}
+
+std::string render(const Expr& e) {
+  switch (e.kind()) {
+    case Kind::kConst:
+      return e.value().str();
+    case Kind::kSymbol:
+      return e.name();
+    case Kind::kPow:
+      if (e.exponent().is_negative()) {
+        return "1/" + render_pow(e.operands()[0], -e.exponent());
+      }
+      return render_pow(e.operands()[0], e.exponent());
+    case Kind::kMin:
+    case Kind::kMax: {
+      std::string out = e.kind() == Kind::kMin ? "min(" : "max(";
+      for (std::size_t i = 0; i < e.operands().size(); ++i) {
+        if (i) out += ", ";
+        out += render(e.operands()[i]);
+      }
+      return out + ")";
+    }
+    case Kind::kMul: {
+      // Split into numerator and denominator by exponent sign.
+      std::vector<std::string> nums, dens;
+      Rational coeff = 1;
+      for (const Expr& f : e.operands()) {
+        if (f.is_const()) {
+          coeff = f.value();
+          continue;
+        }
+        if (f.kind() == Kind::kPow && f.exponent().is_negative()) {
+          dens.push_back(render_pow(f.operands()[0], -f.exponent()));
+        } else {
+          std::string s = render(f);
+          if (needs_parens_in_product(f)) s = "(" + s + ")";
+          nums.push_back(s);
+        }
+      }
+      std::string num_str;
+      bool neg = coeff.is_negative();
+      Rational ac = coeff.abs();
+      if (!Rational(ac.num()).is_one() || nums.empty()) {
+        num_str = int128_str(ac.num() < 0 ? -ac.num() : ac.num());
+      }
+      for (const auto& s : nums) {
+        if (!num_str.empty()) num_str += "*";
+        num_str += s;
+      }
+      if (num_str.empty()) num_str = "1";
+      if (!ac.is_integer()) dens.insert(dens.begin(), int128_str(ac.den()));
+      std::string out = num_str;
+      if (!dens.empty()) {
+        std::string den_str;
+        for (const auto& s : dens) {
+          if (!den_str.empty()) den_str += "*";
+          den_str += s;
+        }
+        if (dens.size() > 1) den_str = "(" + den_str + ")";
+        out += "/" + den_str;
+      }
+      return neg ? "-" + out : out;
+    }
+    case Kind::kAdd: {
+      std::string out;
+      for (std::size_t i = 0; i < e.operands().size(); ++i) {
+        std::string s = render(e.operands()[i]);
+        if (i == 0) {
+          out = s;
+        } else if (!s.empty() && s[0] == '-') {
+          out += " - " + s.substr(1);
+        } else {
+          out += " + " + s;
+        }
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("render: bad kind");
+}
+
+}  // namespace
+
+std::string Expr::str() const { return render(*this); }
+
+std::ostream& operator<<(std::ostream& os, const Expr& e) {
+  return os << e.str();
+}
+
+bool numerically_equal(const Expr& a, const Expr& b, double tol) {
+  std::vector<std::string> syms = a.symbols();
+  for (const std::string& s : b.symbols()) syms.push_back(s);
+  std::sort(syms.begin(), syms.end());
+  syms.erase(std::unique(syms.begin(), syms.end()), syms.end());
+  // Deterministic quasi-random positive sample points.
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return 1.5 + static_cast<double>(state % 1000) / 37.0;
+  };
+  for (int trial = 0; trial < 6; ++trial) {
+    std::map<std::string, double> env;
+    for (const std::string& s : syms) env[s] = next();
+    double va = a.eval(env);
+    double vb = b.eval(env);
+    double scale = std::max({1.0, std::fabs(va), std::fabs(vb)});
+    if (std::fabs(va - vb) > tol * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace soap::sym

@@ -1,0 +1,147 @@
+// A small computer-algebra system: immutable symbolic expressions with
+// canonical simplification.
+//
+// This replaces the MATLAB Symbolic Toolbox used by the paper.  The expression
+// language is exactly what SOAP analysis needs:
+//
+//   * rational constants (exact, via soap::Rational),
+//   * positive symbols (array extents N, M, ..., fast memory size S,
+//     partition parameter X, tile sizes D1..Dl),
+//   * n-ary sums and products with like-term/likefactor combination,
+//   * powers with *rational constant* exponents (sqrt(S) = S^(1/2),
+//     cbrt(S) = S^(1/3), radical constants such as sqrt(3)),
+//   * min / max (conditional bounds, Section 5.3 of the paper).
+//
+// Design notes:
+//   * Every symbol is assumed to denote a *positive* quantity.  This is true
+//     for all SOAP parameters and licenses simplifications such as
+//     (x*y)^(1/2) == x^(1/2) * y^(1/2).
+//   * Expressions are values wrapping shared immutable nodes; all rewriting
+//     happens at construction time, so two structurally equal results of
+//     different derivations compare equal (used heavily by the golden tests
+//     against Table 2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rational.hpp"
+
+namespace soap::sym {
+
+enum class Kind : std::uint8_t { kConst, kSymbol, kAdd, kMul, kPow, kMin, kMax };
+
+class Expr;
+struct Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+struct Node {
+  Kind kind;
+  Rational value;               // kConst
+  std::string name;             // kSymbol
+  std::vector<Expr> operands;   // kAdd / kMul / kMin / kMax; kPow: {base}
+  Rational exponent;            // kPow
+};
+
+/// Immutable symbolic expression (value semantics, structurally canonical).
+class Expr {
+ public:
+  /// Default-constructs the constant 0.
+  Expr();
+  /// Implicit conversions from numbers for ergonomic arithmetic.
+  Expr(long long v);            // NOLINT(implicit)
+  Expr(int v) : Expr(static_cast<long long>(v)) {}  // NOLINT(implicit)
+  Expr(const Rational& r);      // NOLINT(implicit)
+
+  static Expr symbol(const std::string& name);
+  static Expr constant(const Rational& r) { return Expr(r); }
+
+  [[nodiscard]] Kind kind() const { return node_->kind; }
+  [[nodiscard]] bool is_const() const { return kind() == Kind::kConst; }
+  [[nodiscard]] bool is_zero() const {
+    return is_const() && node_->value.is_zero();
+  }
+  [[nodiscard]] bool is_one() const {
+    return is_const() && node_->value.is_one();
+  }
+  /// Requires is_const().
+  [[nodiscard]] const Rational& value() const;
+  /// Requires kind() == kSymbol.
+  [[nodiscard]] const std::string& name() const;
+  /// Operands of Add/Mul/Min/Max; {base} for Pow.
+  [[nodiscard]] const std::vector<Expr>& operands() const {
+    return node_->operands;
+  }
+  /// Requires kind() == kPow.
+  [[nodiscard]] const Rational& exponent() const { return node_->exponent; }
+
+  /// Total structural comparison (canonical order). Returns <0, 0, >0.
+  static int compare(const Expr& a, const Expr& b);
+  friend bool operator==(const Expr& a, const Expr& b) {
+    return compare(a, b) == 0;
+  }
+  friend bool operator!=(const Expr& a, const Expr& b) { return !(a == b); }
+
+  /// Numeric evaluation. Missing symbols throw std::out_of_range.
+  [[nodiscard]] double eval(const std::map<std::string, double>& env) const;
+
+  /// Substitute symbols by expressions (simultaneous).
+  [[nodiscard]] Expr subs(const std::map<std::string, Expr>& env) const;
+
+  /// Derivative with respect to `var`. Min/Max throw std::domain_error.
+  [[nodiscard]] Expr diff(const std::string& var) const;
+
+  /// All symbol names appearing in the expression.
+  [[nodiscard]] std::vector<std::string> symbols() const;
+  [[nodiscard]] bool contains(const std::string& var) const;
+
+  /// Human-readable rendering, e.g. "2*N^3/sqrt(S)".
+  [[nodiscard]] std::string str() const;
+
+  const Node& node() const { return *node_; }
+
+ private:
+  friend Expr make_add(std::vector<Expr> terms);
+  friend Expr make_mul(std::vector<Expr> factors);
+  friend Expr pow(const Expr& base, const Rational& e);
+  friend Expr min(std::vector<Expr> args);
+  friend Expr max(std::vector<Expr> args);
+  explicit Expr(NodePtr n) : node_(std::move(n)) {}
+
+  NodePtr node_;
+};
+
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a);
+Expr operator*(const Expr& a, const Expr& b);
+Expr operator/(const Expr& a, const Expr& b);
+
+/// base^e with rational constant exponent (canonicalizing).
+Expr pow(const Expr& base, const Rational& e);
+inline Expr sqrt(const Expr& e) { return pow(e, Rational(1, 2)); }
+inline Expr cbrt(const Expr& e) { return pow(e, Rational(1, 3)); }
+
+Expr min(std::vector<Expr> args);
+Expr max(std::vector<Expr> args);
+
+/// Distribute products/integer powers over sums.
+Expr expand(const Expr& e);
+
+std::ostream& operator<<(std::ostream& os, const Expr& e);
+
+/// Splits a canonical term into (rational coefficient, remaining factor).
+/// E.g. 3*N^2*sqrt(S) -> (3, N^2*sqrt(S)); 5 -> (5, 1).
+std::pair<Rational, Expr> split_coefficient(const Expr& term);
+
+/// True if |a - b| evaluates to ~0 on several random positive assignments.
+/// A pragmatic semantic-equality check used by tests (structural canonical
+/// equality already catches most cases).
+bool numerically_equal(const Expr& a, const Expr& b, double tol = 1e-7);
+
+}  // namespace soap::sym

@@ -1,0 +1,72 @@
+#include "symbolic/leading.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soap::sym {
+
+Rational term_degree(const Expr& term, const std::vector<std::string>& syms) {
+  auto in = [&syms](const std::string& s) {
+    return std::find(syms.begin(), syms.end(), s) != syms.end();
+  };
+  switch (term.kind()) {
+    case Kind::kConst:
+      return Rational(0);
+    case Kind::kSymbol:
+      return in(term.name()) ? Rational(1) : Rational(0);
+    case Kind::kPow: {
+      const Expr& base = term.operands()[0];
+      if (base.kind() == Kind::kSymbol) {
+        return in(base.name()) ? term.exponent() : Rational(0);
+      }
+      // Degree of a power of a compound base: degree of the base times the
+      // exponent (valid for the product-of-powers terms we produce).
+      return term_degree(base, syms) * term.exponent();
+    }
+    case Kind::kMul: {
+      Rational d = 0;
+      for (const Expr& f : term.operands()) d += term_degree(f, syms);
+      return d;
+    }
+    case Kind::kAdd: {
+      Rational d = term_degree(term.operands()[0], syms);
+      for (const Expr& t : term.operands())
+        d = std::max(d, term_degree(t, syms));
+      return d;
+    }
+    case Kind::kMin:
+    case Kind::kMax: {
+      Rational d = term_degree(term.operands()[0], syms);
+      for (const Expr& t : term.operands())
+        d = std::max(d, term_degree(t, syms));
+      return d;
+    }
+  }
+  throw std::logic_error("term_degree: bad kind");
+}
+
+Expr leading_term(const Expr& e, const std::vector<std::string>& syms) {
+  Expr x = expand(e);
+  if (x.kind() != Kind::kAdd) return x;
+  Rational best(-1000000);
+  for (const Expr& t : x.operands()) best = std::max(best, term_degree(t, syms));
+  std::vector<Expr> keep;
+  for (const Expr& t : x.operands()) {
+    if (term_degree(t, syms) == best) keep.push_back(t);
+  }
+  Expr out(0);
+  for (const Expr& t : keep) out = out + t;
+  return out;
+}
+
+Expr leading_term_except(const Expr& e,
+                         const std::vector<std::string>& small) {
+  std::vector<std::string> syms;
+  for (const std::string& s : e.symbols()) {
+    if (std::find(small.begin(), small.end(), s) == small.end())
+      syms.push_back(s);
+  }
+  return leading_term(e, syms);
+}
+
+}  // namespace soap::sym

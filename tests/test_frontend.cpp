@@ -1,0 +1,136 @@
+#include "frontend/lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+
+namespace soap::frontend {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndNumbers) {
+  auto toks = tokenize("A[i,j] += 2 * B[i-1][j]", false);
+  ASSERT_GT(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "A");
+}
+
+TEST(Lexer, PythonIndentation) {
+  auto toks = tokenize("for i in range(N):\n  x[i] = y[i]\n", true);
+  bool has_indent = false, has_dedent = false;
+  for (const auto& t : toks) {
+    has_indent |= t.kind == TokenKind::kIndent;
+    has_dedent |= t.kind == TokenKind::kDedent;
+  }
+  EXPECT_TRUE(has_indent);
+  EXPECT_TRUE(has_dedent);
+}
+
+TEST(Lexer, StripsComments) {
+  auto toks = tokenize("x[i] = y[i]  # comment with ! weird chars", true);
+  for (const auto& t : toks) EXPECT_NE(t.text, "#");
+}
+
+TEST(Lexer, LanguageDetection) {
+  EXPECT_TRUE(looks_like_c("for (int i = 0; i < N; i++) x[i] = y[i];"));
+  EXPECT_FALSE(looks_like_c("for i in range(N):\n  x[i] = y[i]\n"));
+}
+
+TEST(Parser, PythonLoopNest) {
+  auto ast = parse_python(R"(
+for i in range(N):
+  for j in range(1, M):
+    C[i,j] += A[i,j] * 0.5
+)");
+  ASSERT_EQ(ast.size(), 1u);
+  EXPECT_EQ(ast[0]->loop_var, "i");
+  ASSERT_EQ(ast[0]->body.size(), 1u);
+  EXPECT_EQ(ast[0]->body[0]->loop_var, "j");
+}
+
+TEST(Parser, CStyleLoops) {
+  auto ast = parse_c(R"(
+for (int i = 0; i < N; i++) {
+  for (int j = 1; j <= M; j++)
+    C[i][j] = A[i][j] + B[j];
+}
+)");
+  ASSERT_EQ(ast.size(), 1u);
+  const auto& inner = ast[0]->body[0];
+  EXPECT_EQ(inner->loop_var, "j");
+  // j <= M becomes range(1, M+1).
+  EXPECT_EQ(inner->upper->op, "+");
+}
+
+TEST(Parser, ReportsSyntaxErrorsWithLocation) {
+  EXPECT_THROW(parse_python("for i in range(:\n  x[i] = 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_c("for (i = 0; j < N; i++) x[i] = 1;"),
+               std::runtime_error);
+}
+
+TEST(Lower, UpdateOperatorAddsOutputAsInput) {
+  Program p = parse_program("for i in range(N):\n  x[i] += y[i]\n");
+  ASSERT_EQ(p.statements.size(), 1u);
+  EXPECT_TRUE(p.statements[0].updates_output());
+}
+
+TEST(Lower, PlainAssignReadingOutputDetected) {
+  Program p = parse_program("for i in range(N):\n  x[i] = x[i] + y[i]\n");
+  EXPECT_TRUE(p.statements[0].updates_output());
+}
+
+TEST(Lower, MergesAccessesPerArray) {
+  Program p = parse_program(
+      "for i in range(1, N):\n  b[i] = a[i-1] + a[i] + a[i+1]\n");
+  ASSERT_EQ(p.statements[0].inputs.size(), 1u);
+  EXPECT_EQ(p.statements[0].inputs[0].components.size(), 3u);
+}
+
+TEST(Lower, DeduplicatesRepeatedReferences) {
+  Program p = parse_program("for i in range(N):\n  b[i] = a[i] * a[i]\n");
+  EXPECT_EQ(p.statements[0].inputs[0].components.size(), 1u);
+}
+
+TEST(Lower, AffineSubscripts) {
+  Program p = parse_program(
+      "for i in range(N):\n  for j in range(N):\n    b[i] = a[2*i - j + 3]\n");
+  const Affine& idx = p.statements[0].inputs[0].components[0].index[0];
+  EXPECT_EQ(idx.coeff("i"), Rational(2));
+  EXPECT_EQ(idx.coeff("j"), Rational(-1));
+  EXPECT_EQ(idx.constant(), Rational(3));
+}
+
+TEST(Lower, RejectsNonAffineSubscripts) {
+  EXPECT_THROW(parse_program("for i in range(N):\n  b[i] = a[i*i]\n"),
+               std::runtime_error);
+}
+
+TEST(Lower, CallsAreTransparent) {
+  Program p = parse_program(
+      "for i in range(N):\n  b[i] = max(a[i], exp(c[i]))\n");
+  EXPECT_EQ(p.statements[0].inputs.size(), 2u);
+}
+
+TEST(Lower, MultipleStatementsShareNothing) {
+  Program p = parse_program(R"(
+for i in range(N):
+  t[i] = a[i]
+for i in range(N):
+  u[i] = t[i]
+)");
+  ASSERT_EQ(p.statements.size(), 2u);
+  EXPECT_EQ(p.statements[0].name, "St1");
+  EXPECT_EQ(p.statements[1].name, "St2");
+  EXPECT_EQ(p.input_arrays(), std::vector<std::string>{"a"});
+}
+
+TEST(Lower, ScalarsIgnored) {
+  Program p = parse_program(
+      "for i in range(N):\n  b[i] = alpha * a[i] + beta\n");
+  ASSERT_EQ(p.statements[0].inputs.size(), 1u);
+  EXPECT_EQ(p.statements[0].inputs[0].array, "a");
+}
+
+}  // namespace
+}  // namespace soap::frontend

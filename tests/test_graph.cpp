@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/vertex_cut.hpp"
+
+namespace soap::graph {
+namespace {
+
+TEST(Digraph, TopologicalOrder) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[1], pos[2]);
+}
+
+TEST(Digraph, CycleDetection) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+}
+
+TEST(Digraph, Reachability) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  auto seen = g.reachable_from({0});
+  EXPECT_TRUE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+}
+
+TEST(Digraph, BlockCycleCheck) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  // Blocks {0,2} and {1,3}: 0->1 crosses A->B, 1->2 crosses B->A: cycle.
+  EXPECT_TRUE(g.blocks_have_cycle({0, 1, 0, 1}));
+  // Blocks {0,1} and {2,3}: only A->B edges: acyclic.
+  EXPECT_FALSE(g.blocks_have_cycle({0, 0, 1, 1}));
+}
+
+TEST(MaxFlow, SimpleNetwork) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 3);
+  mf.add_edge(0, 2, 2);
+  mf.add_edge(1, 3, 2);
+  mf.add_edge(2, 3, 3);
+  EXPECT_EQ(mf.solve(0, 3), 4);
+}
+
+TEST(MaxFlow, BottleneckAndCutSide) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 10);
+  mf.add_edge(1, 2, 1);
+  mf.add_edge(2, 3, 10);
+  EXPECT_EQ(mf.solve(0, 3), 1);
+  auto side = mf.min_cut_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+}
+
+TEST(VertexCut, DiamondNeedsOneVertex) {
+  // 0 -> {1,2} -> 3: cutting vertex 0 or 3 suffices.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(min_vertex_cut(g, {0}, {3}), 1);
+  auto cut = min_vertex_cut_set(g, {0}, {3});
+  ASSERT_EQ(cut.size(), 1u);
+}
+
+TEST(VertexCut, ParallelPathsNeedMany) {
+  // k disjoint 2-vertex paths from k sources to k sinks.
+  const std::size_t k = 5;
+  Digraph g(2 * k);
+  std::vector<std::size_t> sources, targets;
+  for (std::size_t i = 0; i < k; ++i) {
+    g.add_edge(i, k + i);
+    sources.push_back(i);
+    targets.push_back(k + i);
+  }
+  EXPECT_EQ(min_vertex_cut(g, sources, targets),
+            static_cast<long long>(k));
+}
+
+TEST(VertexCut, DominatorOfOutputThroughSharedMiddle) {
+  // Two inputs funnel through one vertex to two outputs: dominator size 1.
+  Digraph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(2, 4);
+  EXPECT_EQ(min_vertex_cut(g, {0, 1}, {3, 4}), 1);
+}
+
+class GridCut : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridCut, ChainOfWidthKNeedsK) {
+  int k = GetParam();
+  // Width-k layered DAG of depth 3: min vertex cut = k.
+  Digraph g(static_cast<std::size_t>(3 * k));
+  std::vector<std::size_t> sources, targets;
+  for (int i = 0; i < k; ++i) {
+    sources.push_back(static_cast<std::size_t>(i));
+    targets.push_back(static_cast<std::size_t>(2 * k + i));
+    for (int j = 0; j < k; ++j) {
+      g.add_edge(static_cast<std::size_t>(i),
+                 static_cast<std::size_t>(k + j));
+      g.add_edge(static_cast<std::size_t>(k + i),
+                 static_cast<std::size_t>(2 * k + j));
+    }
+  }
+  EXPECT_EQ(min_vertex_cut(g, sources, targets), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GridCut, ::testing::Values(1, 2, 3, 6));
+
+}  // namespace
+}  // namespace soap::graph

@@ -1,0 +1,153 @@
+#include "bounds/optimizer.hpp"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "bounds/single_statement.hpp"
+#include "frontend/lower.hpp"
+
+namespace soap::bounds {
+namespace {
+
+OptimizationProblem problem_of(const std::string& source) {
+  Program p = frontend::parse_program(source);
+  return statement_problem(p.statements[0]);
+}
+
+TEST(DeriveChi, GemmClosedForm) {
+  auto chi = derive_chi(problem_of(R"(
+for i in range(N):
+  for j in range(N):
+    for k in range(N):
+      C[i,j] += A[i,k] * B[k,j]
+)"));
+  ASSERT_TRUE(chi);
+  EXPECT_EQ(chi->alpha, Rational(3, 2));
+  // c = (1/3)^{3/2} = sqrt(3)/9.
+  EXPECT_TRUE(chi->coefficient_exact);
+  EXPECT_NEAR(chi->coefficient_num, std::pow(1.0 / 3.0, 1.5), 1e-9);
+  // Balanced exponents.
+  EXPECT_EQ(chi->exponents.at("i"), Rational(1, 2));
+  EXPECT_EQ(chi->exponents.at("j"), Rational(1, 2));
+  EXPECT_EQ(chi->exponents.at("k"), Rational(1, 2));
+}
+
+TEST(DeriveChi, Jacobi1dShiftedQuadratic) {
+  auto chi = derive_chi(problem_of(R"(
+for t in range(T):
+  for i in range(1, N - 1):
+    A[i,t+1] = A[i-1,t] + A[i,t] + A[i+1,t]
+)"));
+  ASSERT_TRUE(chi);
+  EXPECT_EQ(chi->alpha, Rational(2));
+  EXPECT_TRUE(chi->coefficient_exact);
+  EXPECT_NEAR(chi->coefficient_num, 0.125, 1e-9);  // chi = (X+2)^2 / 8
+}
+
+TEST(DeriveChi, Heat3dFourThirds) {
+  auto chi = derive_chi(problem_of(R"(
+for t in range(T):
+  for i in range(1, N-1):
+    for j in range(1, N-1):
+      for k in range(1, N-1):
+        A[i,j,k,t+1] = A[i,j,k,t] + A[i-1,j,k,t] + A[i+1,j,k,t] + A[i,j-1,k,t] + A[i,j+1,k,t] + A[i,j,k-1,t] + A[i,j,k+1,t]
+)"));
+  ASSERT_TRUE(chi);
+  EXPECT_EQ(chi->alpha, Rational(4, 3));
+  EXPECT_TRUE(chi->coefficient_exact);
+  // chi = (X/4)^{4/3}/2.
+  EXPECT_NEAR(chi->coefficient_num, std::pow(0.25, 4.0 / 3.0) / 2.0, 1e-7);
+  // Optimal time tile is half the spatial tile.
+  EXPECT_NEAR(chi->tile_coeffs.at("t") / chi->tile_coeffs.at("i"), 0.5, 1e-6);
+}
+
+TEST(DeriveChi, UnboundedReuseReturnsNullopt) {
+  // Variable r appears in no access: chi is unbounded.
+  auto chi = derive_chi(problem_of(R"(
+for i in range(N):
+  for r in range(R):
+    y[i] = x[i]
+)"));
+  EXPECT_FALSE(chi);
+}
+
+TEST(DeriveChi, StreamingAlphaOne) {
+  auto chi = derive_chi(problem_of(R"(
+for i in range(N):
+  y[i] = x[i]
+)"));
+  ASSERT_TRUE(chi);
+  EXPECT_EQ(chi->alpha, Rational(1));
+  EXPECT_NEAR(chi->coefficient_num, 1.0, 1e-6);
+}
+
+TEST(DeriveChi, SumObjectiveDoublesConstant) {
+  // Two statements sharing the same loads: chi = 2xy with xy <= X.
+  OptimizationProblem p;
+  p.vars = {"i", "j"};
+  AccessTerm shared;
+  shared.array = "A";
+  shared.kind = TermKind::kPlain;
+  shared.dims = {{DimSpec::Mode::kProduct, {"i"}, 0},
+                 {DimSpec::Mode::kProduct, {"j"}, 0}};
+  p.sum_terms = {shared};
+  ObjectiveMonomial m;
+  m.degrees = {{"i", 1}, {"j", 1}};
+  m.coeff = 2;
+  p.objective = {m};
+  auto chi = derive_chi(p);
+  ASSERT_TRUE(chi);
+  EXPECT_EQ(chi->alpha, Rational(1));
+  EXPECT_NEAR(chi->coefficient_num, 2.0, 1e-6);
+}
+
+TEST(MaximizeSubcomputation, RespectsBudget) {
+  OptimizationProblem p = problem_of(R"(
+for i in range(N):
+  for j in range(N):
+    for k in range(N):
+      C[i,j] += A[i,k] * B[k,j]
+)");
+  double X = 3e4;
+  NumericOptimum opt = maximize_subcomputation(p, X);
+  double used = 0;
+  for (const AccessTerm& t : p.sum_terms) used += t.eval(opt.tiles);
+  EXPECT_LE(used, X * (1.0 + 1e-6));
+  // chi(X) = (X/3)^{3/2} for gemm.
+  EXPECT_NEAR(opt.chi, std::pow(X / 3.0, 1.5), 0.01 * std::pow(X / 3.0, 1.5));
+}
+
+TEST(MaximizeSubcomputation, MinimumSetConstraintBinds) {
+  // Outer product C[i,j] = A[i]*B[j]: the output tile x_i x_j <= X binds.
+  OptimizationProblem p = problem_of(R"(
+for i in range(N):
+  for j in range(N):
+    C[i,j] = A[i] * B[j]
+)");
+  ASSERT_EQ(p.single_terms.size(), 1u);
+  double X = 1e4;
+  NumericOptimum opt = maximize_subcomputation(p, X);
+  EXPECT_LE(p.single_terms[0].eval(opt.tiles), X * (1.0 + 1e-6));
+  EXPECT_NEAR(opt.chi, X, 0.02 * X);  // chi ~ X (output-bound)
+}
+
+class ChiMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChiMonotonicity, ChiGrowsWithBudget) {
+  OptimizationProblem p = problem_of(R"(
+for t in range(T):
+  for i in range(1, N - 1):
+    for j in range(1, N - 1):
+      A[i,j,t+1] = A[i,j,t] + A[i-1,j,t] + A[i+1,j,t] + A[i,j-1,t] + A[i,j+1,t]
+)");
+  double X = GetParam();
+  NumericOptimum lo = maximize_subcomputation(p, X);
+  NumericOptimum hi = maximize_subcomputation(p, 2 * X);
+  EXPECT_GT(hi.chi, lo.chi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ChiMonotonicity,
+                         ::testing::Values(1e3, 1e4, 1e5, 1e6));
+
+}  // namespace
+}  // namespace soap::bounds

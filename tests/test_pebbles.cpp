@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "bounds/single_statement.hpp"
+#include "frontend/lower.hpp"
+#include "pebbles/dominator.hpp"
+#include "pebbles/game.hpp"
+#include "pebbles/heuristic.hpp"
+#include "pebbles/instantiate.hpp"
+#include "pebbles/optimal.hpp"
+#include "pebbles/xpartition.hpp"
+
+namespace soap::pebbles {
+namespace {
+
+Cdag chain(std::size_t n) {
+  Cdag c;
+  std::size_t prev = c.add_vertex("in");
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t v = c.add_vertex("v" + std::to_string(i));
+    c.add_edge(prev, v);
+    prev = v;
+  }
+  return c;
+}
+
+TEST(Game, ValidChainPebbling) {
+  Cdag c = chain(3);
+  std::vector<Move> moves = {{MoveType::kLoad, 0},
+                             {MoveType::kCompute, 1},
+                             {MoveType::kCompute, 2},
+                             {MoveType::kStore, 2}};
+  GameResult r = run_pebbling(c, 3, moves);
+  ASSERT_TRUE(r.valid) << r.error;
+  EXPECT_EQ(r.io_cost, 2);
+  EXPECT_EQ(r.loads, 1);
+  EXPECT_EQ(r.stores, 1);
+}
+
+TEST(Game, RejectsRuleViolations) {
+  Cdag c = chain(3);
+  // Compute without red parent.
+  GameResult r1 = run_pebbling(c, 3, {{MoveType::kCompute, 1}});
+  EXPECT_FALSE(r1.valid);
+  // Load without a blue pebble.
+  GameResult r2 = run_pebbling(c, 3, {{MoveType::kLoad, 1}});
+  EXPECT_FALSE(r2.valid);
+  // Exceeding the red budget.
+  GameResult r3 = run_pebbling(
+      c, 1, {{MoveType::kLoad, 0}, {MoveType::kCompute, 1}});
+  EXPECT_FALSE(r3.valid);
+  // Compute on an input vertex.
+  GameResult r4 = run_pebbling(c, 3, {{MoveType::kCompute, 0}});
+  EXPECT_FALSE(r4.valid);
+}
+
+TEST(Game, RequiresOutputsInSlowMemory) {
+  Cdag c = chain(2);
+  GameResult r =
+      run_pebbling(c, 2, {{MoveType::kLoad, 0}, {MoveType::kCompute, 1}});
+  EXPECT_FALSE(r.valid);  // output never stored
+}
+
+TEST(Optimal, ChainCostsOneLoadOneStore) {
+  Cdag c = chain(6);
+  auto r = optimal_pebbling(c, 2);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->cost, 2);
+}
+
+TEST(Optimal, BinaryTreeReduction) {
+  // Complete binary reduction of 4 inputs.
+  Cdag c;
+  std::vector<std::size_t> leaves;
+  for (int i = 0; i < 4; ++i) {
+    leaves.push_back(c.add_vertex("in" + std::to_string(i)));
+  }
+  std::size_t l = c.add_vertex("l");
+  std::size_t r = c.add_vertex("r");
+  std::size_t root = c.add_vertex("root");
+  c.add_edge(leaves[0], l);
+  c.add_edge(leaves[1], l);
+  c.add_edge(leaves[2], r);
+  c.add_edge(leaves[3], r);
+  c.add_edge(l, root);
+  c.add_edge(r, root);
+  // With S = 4 no spill is needed: 4 loads + 1 store.
+  auto opt4 = optimal_pebbling(c, 4);
+  ASSERT_TRUE(opt4);
+  EXPECT_EQ(opt4->cost, 5);
+  // With S = 3 the first internal node must be spilled and reloaded.
+  auto opt3 = optimal_pebbling(c, 3);
+  ASSERT_TRUE(opt3);
+  EXPECT_EQ(opt3->cost, 7);
+}
+
+TEST(Optimal, MoreMemoryNeverHurts) {
+  Program p = frontend::parse_program(R"(
+for i in range(N):
+  for j in range(N):
+    C[i,j] = A[i] * B[j]
+)");
+  Cdag c = instantiate(p, {{"N", 2}});
+  long long prev = 1 << 30;
+  for (std::size_t s : {3, 4, 6}) {
+    auto r = optimal_pebbling(c, s);
+    ASSERT_TRUE(r);
+    EXPECT_LE(r->cost, prev);
+    prev = r->cost;
+  }
+}
+
+TEST(Sandwich, AnalyticLowerOptimalHeuristicUpper) {
+  // The full chain the paper promises: analytic bound <= optimal pebbling
+  // <= scheduled (Belady) pebbling, on a concrete gemm instance.
+  Program p = frontend::parse_program(R"(
+for i in range(N):
+  for j in range(N):
+    for k in range(N):
+      C[i,j] += A[i,k] * B[k,j]
+)");
+  auto b = bounds::single_statement_bound(p.statements[0]);
+  ASSERT_TRUE(b);
+  Cdag c = instantiate(p, {{"N", 2}});
+  const std::size_t S = 4;
+  auto opt = optimal_pebbling(c, S);
+  ASSERT_TRUE(opt);
+  auto heur = natural_order_pebbling(c, S, Replacement::kBelady);
+  GameResult replay = run_pebbling(c, S, heur.moves);
+  ASSERT_TRUE(replay.valid) << replay.error;
+  EXPECT_EQ(replay.io_cost, heur.io_cost);
+  double analytic =
+      b->Q.eval({{"N", 2.0}, {"S", static_cast<double>(S)}});
+  EXPECT_LE(analytic, static_cast<double>(opt->cost) + 1e-9);
+  EXPECT_LE(opt->cost, heur.io_cost);
+}
+
+TEST(Heuristic, LruNeverBeatsBelady) {
+  Program p = frontend::parse_program(R"(
+for i in range(N):
+  for j in range(N):
+    for k in range(N):
+      C[i,j] += A[i,k] * B[k,j]
+)");
+  Cdag c = instantiate(p, {{"N", 3}});
+  for (std::size_t s : {4, 6, 10}) {
+    auto lru = natural_order_pebbling(c, s, Replacement::kLru);
+    auto belady = natural_order_pebbling(c, s, Replacement::kBelady);
+    EXPECT_TRUE(run_pebbling(c, s, lru.moves).valid);
+    EXPECT_TRUE(run_pebbling(c, s, belady.moves).valid);
+    EXPECT_LE(belady.io_cost, lru.io_cost) << "S=" << s;
+  }
+}
+
+TEST(Heuristic, ThrowsWhenWorkingSetExceedsS) {
+  Program p = frontend::parse_program(R"(
+for i in range(N):
+  for j in range(N):
+    for k in range(N):
+      C[i,j] += A[i,k] * B[k,j]
+)");
+  Cdag c = instantiate(p, {{"N", 2}});
+  EXPECT_THROW(natural_order_pebbling(c, 3, Replacement::kLru),
+               std::runtime_error);
+}
+
+TEST(Instantiate, VersionedVertices) {
+  Program p = frontend::parse_program(R"(
+for i in range(N):
+  for k in range(N):
+    acc[i] += x[i,k]
+)");
+  auto d = instantiate_detailed(p, {{"N", 2}});
+  // 4 input reads (x) + 2 initial acc + 4 update versions = 10 vertices.
+  EXPECT_EQ(d.cdag.size(), 10u);
+  EXPECT_EQ(d.statement_vertices[0].size(), 4u);
+  // Outputs: the final version of each acc element.
+  EXPECT_EQ(d.cdag.outputs().size(), 2u);
+}
+
+TEST(Instantiate, BudgetEnforced) {
+  Program p = frontend::parse_program(R"(
+for i in range(N):
+  for j in range(N):
+    C[i,j] = A[i] * B[j]
+)");
+  InstantiateOptions opt;
+  opt.max_vertices = 10;
+  EXPECT_THROW(instantiate(p, {{"N", 10}}, opt), std::length_error);
+}
+
+TEST(XPartition, ValidatesBudgetsAndAcyclicity) {
+  Program p = frontend::parse_program(R"(
+for i in range(N):
+  for j in range(N):
+    C[i,j] = A[i] * B[j]
+)");
+  auto d = instantiate_detailed(p, {{"N", 2}});
+  // One part holding everything.
+  std::vector<int> part(d.cdag.size(), -1);
+  for (std::size_t v : d.statement_vertices[0]) part[v] = 0;
+  auto ok = check_x_partition(d.cdag, part, 100);
+  EXPECT_TRUE(ok.valid) << ok.reason;
+  EXPECT_EQ(ok.parts, 1u);
+  // Budget too small.
+  auto tight = check_x_partition(d.cdag, part, 1);
+  EXPECT_FALSE(tight.valid);
+}
+
+TEST(XPartition, DetectsCyclicParts) {
+  // v0 -> v1 -> v2 with parts {v0, v2} and {v1} is acyclic; chain alternating
+  // between two parts with a back-and-forth is cyclic.
+  Cdag c;
+  std::size_t in = c.add_vertex("in");
+  std::size_t a = c.add_vertex("a");
+  std::size_t b = c.add_vertex("b");
+  std::size_t d = c.add_vertex("d");
+  c.add_edge(in, a);
+  c.add_edge(a, b);
+  c.add_edge(b, d);
+  auto res = check_x_partition(c, {-1, 0, 1, 0}, 10);
+  EXPECT_FALSE(res.valid);
+  auto res2 = check_x_partition(c, {-1, 0, 0, 1}, 10);
+  EXPECT_TRUE(res2.valid) << res2.reason;
+}
+
+TEST(Dominator, MinSetAndDominatorOnGemm) {
+  Program p = frontend::parse_program(R"(
+for i in range(N):
+  for j in range(N):
+    for k in range(N):
+      C[i,j] += A[i,k] * B[k,j]
+)");
+  auto d = instantiate_detailed(p, {{"N", 2}});
+  std::vector<std::size_t> all = d.statement_vertices[0];
+  // Min set: per (i,j), only the last update (k = 1) has no child in H.
+  EXPECT_EQ(minimum_set(d.cdag, all).size(), 4u);
+  long long dom = min_dominator_size(d.cdag, all);
+  EXPECT_GE(dom, 4);   // at least the 4 final outputs' worth of cut
+  EXPECT_LE(dom, 12);  // at most all program inputs
+}
+
+}  // namespace
+}  // namespace soap::pebbles

@@ -1,0 +1,120 @@
+#include "support/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace soap {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  Rational neg(3, -9);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 3);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GE(Rational(2), Rational(2));
+  EXPECT_GT(Rational(7, 3), Rational(2));
+}
+
+TEST(Rational, IntegerPow) {
+  EXPECT_EQ(Rational(2, 3).pow(3), Rational(8, 27));
+  EXPECT_EQ(Rational(2).pow(0), Rational(1));
+  EXPECT_EQ(Rational(2).pow(-2), Rational(1, 4));
+  EXPECT_THROW(Rational(0).pow(-1), std::domain_error);
+}
+
+TEST(Rational, Floor) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(4).floor(), 4);
+}
+
+TEST(Rational, NthRoot) {
+  Rational out;
+  EXPECT_TRUE(Rational(8, 27).nth_root(3, &out));
+  EXPECT_EQ(out, Rational(2, 3));
+  EXPECT_TRUE(Rational(1, 4).nth_root(2, &out));
+  EXPECT_EQ(out, Rational(1, 2));
+  EXPECT_FALSE(Rational(2).nth_root(2, &out));
+  EXPECT_FALSE(Rational(-8).nth_root(3, &out));  // sign unsupported
+}
+
+TEST(Rational, ToIntChecks) {
+  EXPECT_EQ(Rational(5).to_int(), 5);
+  EXPECT_THROW(Rational(1, 2).to_int(), std::logic_error);
+}
+
+TEST(Rational, StrRendering) {
+  EXPECT_EQ(Rational(1, 2).str(), "1/2");
+  EXPECT_EQ(Rational(-3).str(), "-3");
+  EXPECT_EQ(Rational(0).str(), "0");
+}
+
+TEST(Rational, OverflowDetected) {
+  Rational big(int128(1) << 100, 1);
+  EXPECT_THROW(big * big, OverflowError);
+}
+
+TEST(Rationalize, RecoversSimpleFractions) {
+  EXPECT_EQ(rationalize(0.125, 1000), Rational(1, 8));
+  EXPECT_EQ(rationalize(-0.3333333333333, 1000), Rational(-1, 3));
+  EXPECT_EQ(rationalize(2.0, 1000), Rational(2));
+}
+
+TEST(RationalizeWithin, PrefersSmallestDenominator) {
+  Rational out;
+  ASSERT_TRUE(rationalize_within(0.5000004, 1e-5, 1000000, &out));
+  EXPECT_EQ(out, Rational(1, 2));
+  ASSERT_TRUE(rationalize_within(1.0 / 2048.0, 1e-8, 1000000, &out));
+  EXPECT_EQ(out, Rational(1, 2048));
+  // Far from any small fraction within a tight tolerance.
+  EXPECT_TRUE(rationalize_within(0.7071067811865476, 1e-12, 10, &out) == false);
+}
+
+class RationalRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalRoundTrip, DoubleRationalizeRoundTrips) {
+  int p = GetParam();
+  for (int q = 1; q <= 12; ++q) {
+    Rational r(p, q);
+    Rational back = rationalize(r.to_double(), 100000);
+    EXPECT_EQ(back, r) << p << "/" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallNumerators, RationalRoundTrip,
+                         ::testing::Range(-12, 13));
+
+TEST(Int128Str, LargeValues) {
+  int128 v = int128(1) << 100;
+  EXPECT_EQ(int128_str(v), "1267650600228229401496703205376");
+  EXPECT_EQ(int128_str(-v), "-1267650600228229401496703205376");
+  EXPECT_EQ(int128_str(0), "0");
+}
+
+TEST(Gcd128, Basics) {
+  EXPECT_EQ(gcd128(12, 18), 6);
+  EXPECT_EQ(gcd128(-12, 18), 6);
+  EXPECT_EQ(gcd128(0, 7), 7);
+}
+
+}  // namespace
+}  // namespace soap

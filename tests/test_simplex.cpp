@@ -1,0 +1,101 @@
+#include "linalg/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace soap {
+namespace {
+
+TEST(Simplex, SimpleTwoVariable) {
+  // max x + y s.t. x <= 2, y <= 3.
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.constraints = {{1, 0}, {0, 1}};
+  lp.rhs = {2, 3};
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol);
+  EXPECT_EQ(sol->objective_value, Rational(5));
+  EXPECT_EQ(sol->x[0], Rational(2));
+  EXPECT_EQ(sol->x[1], Rational(3));
+}
+
+TEST(Simplex, MatrixMultiplicationExponentLp) {
+  // max a_i + a_j + a_k  s.t. pairwise sums <= 1: the HBL dual of MMM.
+  LinearProgram lp;
+  lp.objective = {1, 1, 1};
+  lp.constraints = {{1, 1, 0}, {1, 0, 1}, {0, 1, 1}};
+  lp.rhs = {1, 1, 1};
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol);
+  EXPECT_EQ(sol->objective_value, Rational(3, 2));
+}
+
+TEST(Simplex, UnboundedDetected) {
+  LinearProgram lp;
+  lp.objective = {1, 1};
+  lp.constraints = {{1, 0}};  // y unconstrained
+  lp.rhs = {1};
+  EXPECT_FALSE(solve_lp(lp));
+}
+
+TEST(Simplex, ExactRationalArithmetic) {
+  // max x s.t. 3x <= 1: optimum exactly 1/3 (no floating point).
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.constraints = {{3}};
+  lp.rhs = {1};
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol);
+  EXPECT_EQ(sol->x[0], Rational(1, 3));
+}
+
+TEST(Simplex, DegenerateNoCycling) {
+  // Classic Beale-style degeneracy; Bland's rule must terminate.
+  LinearProgram lp;
+  lp.objective = {Rational(3, 4), -150, Rational(1, 50), -6};
+  lp.constraints = {{Rational(1, 4), -60, Rational(-1, 25), 9},
+                    {Rational(1, 2), -90, Rational(-1, 50), 3},
+                    {0, 0, 1, 0}};
+  lp.rhs = {0, 0, 1};
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol);
+  EXPECT_EQ(sol->objective_value, Rational(1, 20));
+}
+
+TEST(Simplex, RejectsMalformedInput) {
+  LinearProgram lp;
+  lp.objective = {1};
+  lp.constraints = {{1, 2}};  // arity mismatch
+  lp.rhs = {1};
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+  lp.constraints = {{1}};
+  lp.rhs = {Rational(-1)};
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+}
+
+class StencilLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(StencilLp, DDimensionalStencilExponent) {
+  // d spatial dims + time: constraints a_x_i <= 1 each and the codim-1
+  // monomial structure of Corollary 1 yields alpha = (d+1)/d for the
+  // canonical d-dimensional time stencil.
+  int d = GetParam();
+  std::size_t n = static_cast<std::size_t>(d) + 1;  // + time
+  LinearProgram lp;
+  lp.objective.assign(n, Rational(1));
+  // Monomial sets: drop one spatial dim -> {all others}; drop time ->
+  // {all spatial}.
+  for (std::size_t skip = 0; skip < n; ++skip) {
+    std::vector<Rational> row(n, Rational(1));
+    row[skip] = 0;
+    lp.constraints.push_back(std::move(row));
+    lp.rhs.emplace_back(1);
+  }
+  auto sol = solve_lp(lp);
+  ASSERT_TRUE(sol);
+  EXPECT_EQ(sol->objective_value, Rational(d + 1, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, StencilLp, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace soap

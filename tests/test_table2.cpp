@@ -1,0 +1,89 @@
+// Golden reproduction of Table 2: every one of the paper's 38 applications,
+// analyzed end-to-end (source text -> SOAP -> SDG -> bound), must produce the
+// expected leading-order term.  EXPERIMENTS.md documents the three rows where
+// our engine's constant deliberately differs from the published one
+// (fdtd2d, adi, lenet5) — the expectation below is this implementation's
+// value; the bench prints both side by side.
+#include <gtest/gtest.h>
+
+#include "kernels/table2.hpp"
+#include "symbolic/expr.hpp"
+
+namespace soap::kernels {
+namespace {
+
+class Table2 : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Table2, ReproducesExpectedBound) {
+  const KernelEntry& k = kernel_by_name(GetParam());
+  sym::Expr got = analyze_kernel(k);
+  EXPECT_TRUE(sym::numerically_equal(got, k.expected_bound))
+      << k.name << ": got " << got.str() << ", expected "
+      << k.expected_bound.str();
+}
+
+TEST_P(Table2, BoundIsSoundAgainstPaperRow) {
+  // Where our constant differs from the paper's, it must still be a valid
+  // lower bound statement: we never claim more than twice the published
+  // value without a documented reason, and never less than 1/4 of it
+  // (leading order, large sizes, S = 2^20).
+  const KernelEntry& k = kernel_by_name(GetParam());
+  sym::Expr got = analyze_kernel(k);
+  std::map<std::string, double> env;
+  for (const std::string& s : got.symbols()) env[s] = 1e6;
+  for (const std::string& s : k.paper_bound.symbols()) env[s] = 1e6;
+  env["S"] = static_cast<double>(1 << 20);
+  double ours = got.eval(env);
+  double paper = k.paper_bound.eval(env);
+  EXPECT_GE(ours, paper / 4.0) << k.name;
+  EXPECT_LE(ours, paper * 4.0) << k.name;
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& k : table2_kernels()) names.push_back(k.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApplications, Table2,
+                         ::testing::ValuesIn(all_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Table2Corpus, HasAll38Applications) {
+  EXPECT_EQ(table2_kernels().size(), 38u);
+  int polybench = 0, neural = 0, various = 0;
+  for (const auto& k : table2_kernels()) {
+    polybench += k.category == "polybench";
+    neural += k.category == "neural";
+    various += k.category == "various";
+  }
+  EXPECT_EQ(polybench, 30);
+  EXPECT_EQ(neural, 5);
+  EXPECT_EQ(various, 3);
+}
+
+TEST(Table2Corpus, ProgramsParseAndAreWellFormed) {
+  for (const auto& k : table2_kernels()) {
+    Program p = k.build();
+    EXPECT_FALSE(p.statements.empty()) << k.name;
+    for (const Statement& st : p.statements) {
+      EXPECT_FALSE(st.output.array.empty()) << k.name;
+      EXPECT_GT(st.domain.depth(), 0u) << k.name;
+    }
+  }
+}
+
+TEST(Table2Corpus, LookupByName) {
+  EXPECT_EQ(kernel_by_name("gemm").category, "polybench");
+  EXPECT_THROW(kernel_by_name("nonexistent"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace soap::kernels
