@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_flags.hpp"
 #include "kernels/table2.hpp"
 
 namespace soap::bench {
@@ -27,11 +28,13 @@ inline void print_row(const kernels::KernelEntry& k) {
   }
 }
 
-inline int run_category(const char* title, const std::string& category) {
+inline int run_category(const char* title, const std::string& category,
+                        int max_rows = -1) {
   print_header(title);
   int rows = 0;
   for (const auto& k : kernels::table2_kernels()) {
     if (k.category != category) continue;
+    if (max_rows >= 0 && rows >= max_rows) break;
     print_row(k);
     ++rows;
   }

@@ -1,0 +1,18 @@
+// Flag handling shared by every bench binary, kept free of library
+// dependencies so benches that don't link soap::kernels can use it too.
+#pragma once
+
+#include <string>
+
+namespace soap::bench {
+
+/// True when the binary was invoked with --smoke (CTest bench-smoke entries:
+/// exercise the code path on the smallest problem instead of the full run).
+inline bool smoke_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
+
+}  // namespace soap::bench

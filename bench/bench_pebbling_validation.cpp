@@ -3,6 +3,7 @@
 // (Belady) pebbling, for several kernels at toy sizes.
 #include <cstdio>
 
+#include "bench_flags.hpp"
 #include "bounds/single_statement.hpp"
 #include "frontend/lower.hpp"
 #include "pebbles/heuristic.hpp"
@@ -45,7 +46,7 @@ void validate(const char* name, const char* src,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Red-blue pebble game validation (Section 2) ===\n");
   validate("gemm N=2", R"(
 for i in range(N):
@@ -54,6 +55,10 @@ for i in range(N):
       C[i,j] += A[i,k] * B[k,j]
 )",
            {{"N", 2}}, {4, 5, 6});
+  // --smoke (CTest bench-smoke): the gemm case alone exercises the full
+  // analytic/optimal/scheduled pipeline; the remaining CDAGs are too slow
+  // for sanitizer runs.
+  if (soap::bench::smoke_requested(argc, argv)) return 0;
   validate("jacobi1d N=4 T=2", R"(
 for t in range(T):
   for i in range(1, N - 1):

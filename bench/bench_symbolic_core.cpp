@@ -1,0 +1,73 @@
+// Microbench for the symbolic engine: every bound the optimizer derives is
+// built, canonicalized, compared, and reduced through these operations, so
+// this is the substrate of the analysis hot path (see bench_analysis_perf
+// for the end-to-end picture).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.hpp"
+#include "symbolic/leading.hpp"
+
+namespace {
+
+using soap::Rational;
+using soap::sym::Expr;
+
+Expr polynomial_bound(int terms) {
+  Expr s = Expr::symbol("S");
+  Expr e(0);
+  for (int i = 1; i <= terms; ++i) {
+    Expr n = Expr::symbol("N" + std::to_string(i % 4));
+    e = e + Expr(i) * n * n * n / soap::sym::sqrt(s) + n * n + Expr(2) * n;
+  }
+  return e;
+}
+
+void BM_CanonicalizeSum(benchmark::State& state) {
+  int terms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Expr e = polynomial_bound(terms);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_CanonicalizeSum)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NumericallyEqual(benchmark::State& state) {
+  int terms = static_cast<int>(state.range(0));
+  Expr a = polynomial_bound(terms);
+  Expr b = polynomial_bound(terms) + Expr(1);
+  for (auto _ : state) {
+    bool eq = soap::sym::numerically_equal(a, b);
+    benchmark::DoNotOptimize(eq);
+  }
+}
+BENCHMARK(BM_NumericallyEqual)->Arg(4)->Arg(64);
+
+void BM_LeadingTerm(benchmark::State& state) {
+  int terms = static_cast<int>(state.range(0));
+  Expr e = polynomial_bound(terms);
+  for (auto _ : state) {
+    Expr lead = soap::sym::leading_term_except(e, {"S"});
+    benchmark::DoNotOptimize(lead);
+  }
+}
+BENCHMARK(BM_LeadingTerm)->Arg(4)->Arg(64);
+
+void BM_SubstituteAndEval(benchmark::State& state) {
+  int terms = static_cast<int>(state.range(0));
+  Expr e = polynomial_bound(terms);
+  std::map<std::string, double> env{{"S", 1 << 20}};
+  for (const std::string& s : e.symbols()) env.emplace(s, 1e6);
+  for (auto _ : state) {
+    double v = e.eval(env);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SubstituteAndEval)->Arg(4)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

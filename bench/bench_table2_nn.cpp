@@ -39,9 +39,10 @@ for b in range(B):
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = soap::bench::smoke_requested(argc, argv);
   int r = soap::bench::run_category(
-      "Table 2 / Neural networks: I/O lower bounds", "neural");
-  conv_conditional_intensities();
+      "Table 2 / Neural networks: I/O lower bounds", "neural", smoke ? 1 : -1);
+  if (!smoke) conv_conditional_intensities();
   return r;
 }

@@ -1,8 +1,8 @@
 // Experiment T2-poly: the Polybench block of Table 2 (30 kernels).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return soap::bench::run_category(
       "Table 2 / Polybench: I/O lower bounds (leading-order terms)",
-      "polybench");
+      "polybench", soap::bench::smoke_requested(argc, argv) ? 1 : -1);
 }

@@ -1,8 +1,8 @@
 // Experiment T2-var: LULESH, COSMO horizontal diffusion, vertical advection.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   return soap::bench::run_category(
       "Table 2 / Various: first I/O lower bounds beyond the polyhedral model",
-      "various");
+      "various", soap::bench::smoke_requested(argc, argv) ? 1 : -1);
 }

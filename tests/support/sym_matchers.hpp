@@ -1,0 +1,46 @@
+// Symbolic-equality assertions shared by the test suites.
+//
+// Structural Expr equality (operator==) requires identical canonical form;
+// these matchers instead compare via sym::numerically_equal, which samples
+// the symbols numerically, so two derivations of the same bound compare
+// equal even when their canonical spellings differ.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "symbolic/expr.hpp"
+
+namespace soap::testing {
+
+inline ::testing::AssertionResult SymEq(const char* lhs_text,
+                                        const char* rhs_text,
+                                        const sym::Expr& lhs,
+                                        const sym::Expr& rhs) {
+  if (sym::numerically_equal(lhs, rhs)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << lhs_text << " and " << rhs_text
+         << " are not numerically equal:\n  " << lhs_text << " = "
+         << lhs.str() << "\n  " << rhs_text << " = " << rhs.str();
+}
+
+inline ::testing::AssertionResult SymNe(const char* lhs_text,
+                                        const char* rhs_text,
+                                        const sym::Expr& lhs,
+                                        const sym::Expr& rhs) {
+  if (!sym::numerically_equal(lhs, rhs)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << lhs_text << " and " << rhs_text
+         << " are numerically equal (both = " << lhs.str()
+         << ") but were expected to differ";
+}
+
+}  // namespace soap::testing
+
+#define EXPECT_SYM_EQ(lhs, rhs) \
+  EXPECT_PRED_FORMAT2(::soap::testing::SymEq, lhs, rhs)
+#define ASSERT_SYM_EQ(lhs, rhs) \
+  ASSERT_PRED_FORMAT2(::soap::testing::SymEq, lhs, rhs)
+#define EXPECT_SYM_NE(lhs, rhs) \
+  EXPECT_PRED_FORMAT2(::soap::testing::SymNe, lhs, rhs)
+#define ASSERT_SYM_NE(lhs, rhs) \
+  ASSERT_PRED_FORMAT2(::soap::testing::SymNe, lhs, rhs)

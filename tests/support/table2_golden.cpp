@@ -1,0 +1,38 @@
+#include "table2_golden.hpp"
+
+namespace soap::testing {
+
+using sym::Expr;
+
+namespace {
+
+Expr sy(const char* s) { return Expr::symbol(s); }
+
+std::vector<GoldenRow> build_rows() {
+  Expr S = sy("S");
+  std::vector<GoldenRow> rows;
+  // Polybench: gemm, 2N^3/sqrt(S).
+  rows.push_back(
+      {"gemm", Expr(2) * sy("N") * sy("N") * sy("N") / sym::sqrt(S)});
+  // Polybench: cholesky, N^3/(3 sqrt(S)).
+  rows.push_back({"cholesky", sy("N") * sy("N") * sy("N") /
+                                  (Expr(3) * sym::sqrt(S))});
+  // Neural: direct convolution (stride >= kernel extent case),
+  // 2 B Cin Cout Hout Wout Hker Wker/sqrt(S).
+  rows.push_back({"conv", Expr(2) * sy("B") * sy("Cin") * sy("Cout") *
+                              sy("Hout") * sy("Wout") * sy("Hker") *
+                              sy("Wker") / sym::sqrt(S)});
+  // Various: LULESH, 22 numElem — first bound for this application, flat in
+  // S at leading order.
+  rows.push_back({"lulesh", Expr(22) * sy("numElem")});
+  return rows;
+}
+
+}  // namespace
+
+const std::vector<GoldenRow>& table2_golden_rows() {
+  static const std::vector<GoldenRow> rows = build_rows();
+  return rows;
+}
+
+}  // namespace soap::testing

@@ -1,0 +1,24 @@
+// Golden rows from Table 2 of the paper, written down independently of
+// src/kernels/table2.cpp.  The corpus encodes paper_bound/expected_bound
+// itself; these fixtures pin a hand-picked subset straight from the
+// published table so a regression in the corpus encoding and a regression
+// in the analyzer cannot mask each other.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.hpp"
+
+namespace soap::testing {
+
+struct GoldenRow {
+  std::string name;       ///< kernel name as registered in the corpus
+  sym::Expr paper_bound;  ///< leading-order bound as printed in Table 2
+};
+
+/// One representative row per corpus category (Polybench / neural /
+/// various), transcribed from the published table.
+const std::vector<GoldenRow>& table2_golden_rows();
+
+}  // namespace soap::testing

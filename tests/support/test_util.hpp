@@ -1,0 +1,16 @@
+// Small shared test utilities.
+#pragma once
+
+#include <utility>
+
+namespace soap::testing {
+
+/// Discards a [[nodiscard]] result.  Use inside EXPECT_THROW, where the
+/// value of the throwing expression is irrelevant but silently ignoring it
+/// trips -Wunused-result:  EXPECT_THROW(sink(q.eval(env)), std::out_of_range)
+template <typename T>
+void sink(T&& value) {
+  [[maybe_unused]] auto discarded = std::forward<T>(value);
+}
+
+}  // namespace soap::testing

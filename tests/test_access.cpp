@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include "soap/program.hpp"
 #include "soap/projection.hpp"
 
@@ -23,7 +25,7 @@ TEST(Affine, Arithmetic) {
 TEST(Affine, EvalAndStr) {
   Affine a = var("i") - var("j") + Affine(1);
   EXPECT_EQ(a.eval({{"i", Rational(5)}, {"j", Rational(2)}}), Rational(4));
-  EXPECT_THROW(a.eval({{"i", Rational(1)}}), std::out_of_range);
+  EXPECT_THROW(testing::sink(a.eval({{"i", Rational(1)}})), std::out_of_range);
   EXPECT_EQ(a.str(), "i - j + 1");
   EXPECT_EQ(Affine(0).str(), "0");
 }

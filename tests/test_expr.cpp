@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "sym_matchers.hpp"
 #include "symbolic/leading.hpp"
+#include "test_util.hpp"
 
 namespace soap::sym {
 namespace {
@@ -56,7 +58,7 @@ TEST(Expr, CanonicalEqualityAcrossDerivations) {
 TEST(Expr, Eval) {
   Expr q = Expr(2) * pow(N(), Rational(3)) / sqrt(S());
   EXPECT_DOUBLE_EQ(q.eval({{"N", 10.0}, {"S", 4.0}}), 1000.0);
-  EXPECT_THROW(q.eval({{"N", 1.0}}), std::out_of_range);
+  EXPECT_THROW(testing::sink(q.eval({{"N", 1.0}})), std::out_of_range);
 }
 
 TEST(Expr, Subs) {
@@ -139,8 +141,8 @@ TEST(TermDegree, RationalDegrees) {
 TEST(NumericallyEqual, DetectsEqualAndUnequal) {
   Expr a = (N() + S()) * (N() - S());
   Expr b = N() * N() - S() * S();
-  EXPECT_TRUE(numerically_equal(a, b));
-  EXPECT_FALSE(numerically_equal(a, b + Expr(1)));
+  EXPECT_SYM_EQ(a, b);
+  EXPECT_SYM_NE(a, b + Expr(1));
 }
 
 class PowerFold : public ::testing::TestWithParam<int> {};

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 namespace soap {
 namespace {
 
@@ -38,7 +40,7 @@ TEST(Rational, IntegerPow) {
   EXPECT_EQ(Rational(2, 3).pow(3), Rational(8, 27));
   EXPECT_EQ(Rational(2).pow(0), Rational(1));
   EXPECT_EQ(Rational(2).pow(-2), Rational(1, 4));
-  EXPECT_THROW(Rational(0).pow(-1), std::domain_error);
+  EXPECT_THROW(testing::sink(Rational(0).pow(-1)), std::domain_error);
 }
 
 TEST(Rational, Floor) {
@@ -59,7 +61,7 @@ TEST(Rational, NthRoot) {
 
 TEST(Rational, ToIntChecks) {
   EXPECT_EQ(Rational(5).to_int(), 5);
-  EXPECT_THROW(Rational(1, 2).to_int(), std::logic_error);
+  EXPECT_THROW(testing::sink(Rational(1, 2).to_int()), std::logic_error);
 }
 
 TEST(Rational, StrRendering) {
