@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Records the perf trajectory of the symbolic/analysis hot paths.
+#
+# Runs the google-benchmark binaries with --benchmark_format=json and writes
+#   <out_dir>/BENCH_symbolic.json   (bench_symbolic_core)
+#   <out_dir>/BENCH_analysis.json   (bench_analysis_perf)
+#   <out_dir>/BENCH_sdg.json        (bench_sdg_scaling)
+# so future PRs can diff their numbers against the committed baselines.
+#
+# Usage:
+#   scripts/bench_baseline.sh [build_dir] [out_dir] [extra benchmark args...]
+# Defaults: build_dir=build/release, out_dir=bench/baselines.
+#
+# Pass a --benchmark_filter=... as an extra arg for a quick smoke run, e.g.
+#   scripts/bench_baseline.sh build/release /tmp/smoke --benchmark_filter=/4$
+set -euo pipefail
+
+build_dir="${1:-build/release}"
+out_dir="${2:-bench/baselines}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+bench_dir="$build_dir/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir not found — configure and build first:" >&2
+  echo "  cmake --preset release && cmake --build --preset release -j" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+
+run() {
+  local binary="$1" out="$2"
+  shift 2
+  if [[ ! -x "$bench_dir/$binary" ]]; then
+    echo "skip: $binary not built (google-benchmark missing?)" >&2
+    return 0
+  fi
+  echo "running $binary -> $out"
+  "$bench_dir/$binary" --benchmark_format=json "$@" > "$out"
+  # A filter matching no benchmark exits 0 but writes empty stdout; fail
+  # loudly here instead of handing an empty JSON to whatever diffs it.
+  if [[ ! -s "$out" ]]; then
+    echo "error: $binary produced no output (benchmark filter matched nothing?)" >&2
+    exit 1
+  fi
+}
+
+run bench_symbolic_core "$out_dir/BENCH_symbolic.json" "$@"
+run bench_analysis_perf "$out_dir/BENCH_analysis.json" "$@"
+run bench_sdg_scaling "$out_dir/BENCH_sdg.json" "$@"
+
+echo "baselines written to $out_dir/"

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "soap/statement.hpp"
+#include "support/sym_map.hpp"
 #include "symbolic/expr.hpp"
 
 namespace soap::bounds {
@@ -68,6 +69,14 @@ struct AccessTerm {
 
   [[nodiscard]] std::string str() const;
 };
+
+/// Combines per-dimension extents e[0..n) and offset counts c[0..n) into |A|
+/// for the given counting rule, using the cancellation-safe
+/// inclusion-exclusion expansion of prod(e) - prod(e - c).  Shared by
+/// AccessTerm::eval and the optimizer's index-compiled terms so the numerics
+/// cannot drift apart.  Requires n <= 20 (throws std::logic_error).
+double combine_access_extents(TermKind kind, const double* e, const double* c,
+                              std::size_t n);
 
 /// The bounds-engine view of a single SOAP statement.
 struct StatementAnalysis {

@@ -46,7 +46,9 @@ IoLowerBound assemble_bound(const sym::Expr& domain_size, const ChiForm& chi) {
   out.chi_coeff = chi.coefficient;
   out.exact = chi.coefficient_exact;
   out.Q = domain_size / in.rho;
-  out.Q_leading = sym::leading_term_except(out.Q, {"S"});
+  static const SymIdSet s_only =
+      SymIdSet::from_unsorted({intern_symbol("S")});
+  out.Q_leading = sym::leading_term_except(out.Q, s_only);
   for (const auto& [v, e] : chi.exponents) {
     TileSize t;
     t.exponent = e;

@@ -15,33 +15,107 @@ namespace {
 // Numeric solve
 // ---------------------------------------------------------------------------
 
+// Compiled (dense-index) view of the problem for the numeric inner loops:
+// tile variables become vector indices and access terms precompile their
+// per-dimension variable lists, so Nelder-Mead / KKT iterations never touch
+// a string-keyed map.  Mirrors AccessTerm::eval's inclusion-exclusion.
+struct CompiledDim {
+  DimSpec::Mode mode = DimSpec::Mode::kProduct;
+  std::vector<std::size_t> vars;
+  double offsets = 0.0;
+};
+
+struct CompiledTerm {
+  TermKind kind = TermKind::kPlain;
+  std::vector<CompiledDim> dims;
+
+  [[nodiscard]] double eval(const std::vector<double>& x) const {
+    // Stack scratch: this runs hundreds of thousands of times per solve
+    // (Nelder-Mead x bisection x terms); combine_access_extents caps n at 20.
+    double e[20];
+    double c[20];
+    const std::size_t n = dims.size();
+    if (n > 20) throw std::logic_error("CompiledTerm::eval: too many dims");
+    for (std::size_t i = 0; i < n; ++i) {
+      const CompiledDim& d = dims[i];
+      // Empty dimensions have extent 1; kMax starts from 0 and takes maxima.
+      double extent = d.vars.empty() ? 1.0
+                      : d.mode == DimSpec::Mode::kMax ? 0.0
+                                                      : 1.0;
+      for (std::size_t v : d.vars) {
+        extent = d.mode == DimSpec::Mode::kMax ? std::max(extent, x[v])
+                                               : extent * x[v];
+      }
+      e[i] = extent;
+      c[i] = d.offsets;
+    }
+    // Same counting rules as AccessTerm::eval, via the shared combiner.
+    return combine_access_extents(kind, e, c, n);
+  }
+};
+
 struct Evaluator {
   const OptimizationProblem& problem;
-  std::vector<ObjectiveMonomial> objective;
+  std::vector<CompiledTerm> sum_terms;
+  std::vector<CompiledTerm> single_terms;
+  // Objective monomials as ((var index, degree)..., coeff) pairs.
+  std::vector<std::pair<std::vector<std::pair<std::size_t, int>>, double>>
+      objective;
 
-  explicit Evaluator(const OptimizationProblem& p)
-      : problem(p), objective(p.effective_objective()) {}
-
-  double objective_value(const std::map<std::string, double>& tiles) const {
-    double f = 0.0;
-    for (const ObjectiveMonomial& m : objective) {
-      double term = m.coeff.to_double();
-      for (const auto& [v, d] : m.degrees) {
-        term *= std::pow(tiles.at(v), d);
+  explicit Evaluator(const OptimizationProblem& p) : problem(p) {
+    std::map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < p.vars.size(); ++i) index[p.vars[i]] = i;
+    auto compile_term = [&index](const AccessTerm& t) {
+      CompiledTerm out;
+      out.kind = t.kind;
+      out.dims.reserve(t.dims.size());
+      for (const DimSpec& d : t.dims) {
+        CompiledDim cd;
+        cd.mode = d.mode;
+        cd.offsets = static_cast<double>(d.offsets);
+        cd.vars.reserve(d.vars.size());
+        for (const std::string& v : d.vars) {
+          auto it = index.find(v);
+          if (it == index.end()) {
+            throw std::out_of_range("AccessTerm::eval: unbound tile " + v);
+          }
+          cd.vars.push_back(it->second);
+        }
+        out.dims.push_back(std::move(cd));
       }
+      return out;
+    };
+    for (const AccessTerm& t : p.sum_terms) {
+      sum_terms.push_back(compile_term(t));
+    }
+    for (const AccessTerm& t : p.single_terms) {
+      single_terms.push_back(compile_term(t));
+    }
+    for (const ObjectiveMonomial& m : p.effective_objective()) {
+      std::vector<std::pair<std::size_t, int>> degs;
+      degs.reserve(m.degrees.size());
+      for (const auto& [v, d] : m.degrees) degs.emplace_back(index.at(v), d);
+      objective.emplace_back(std::move(degs), m.coeff.to_double());
+    }
+  }
+
+  double objective_value(const std::vector<double>& x) const {
+    double f = 0.0;
+    for (const auto& [degs, coeff] : objective) {
+      double term = coeff;
+      for (const auto& [i, d] : degs) term *= std::pow(x[i], d);
       f += term;
     }
     return f;
   }
 
   // Worst constraint utilization g_k(x)/X (>1 means infeasible).
-  double utilization(const std::map<std::string, double>& tiles,
-                     double X) const {
+  double utilization(const std::vector<double>& x, double X) const {
     double sum = 0.0;
-    for (const AccessTerm& t : problem.sum_terms) sum += t.eval(tiles);
+    for (const CompiledTerm& t : sum_terms) sum += t.eval(x);
     double u = sum / X;
-    for (const AccessTerm& t : problem.single_terms) {
-      u = std::max(u, t.eval(tiles) / X);
+    for (const CompiledTerm& t : single_terms) {
+      u = std::max(u, t.eval(x) / X);
     }
     return u;
   }
@@ -51,11 +125,11 @@ struct Evaluator {
 // (clamped below at 1) stays feasible; constraint terms are monotone
 // non-decreasing in every tile so feasibility is monotone in m.
 double feasible_scale(const Evaluator& ev, const std::vector<double>& x,
-                      const std::vector<std::string>& vars, double X) {
+                      double X) {
+  std::vector<double> tiles(x.size());
   auto feasible = [&](double m) {
-    std::map<std::string, double> tiles;
-    for (std::size_t i = 0; i < vars.size(); ++i) {
-      tiles[vars[i]] = std::max(1.0, m * x[i]);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      tiles[i] = std::max(1.0, m * x[i]);
     }
     return ev.utilization(tiles, X) <= 1.0;
   };
@@ -74,28 +148,27 @@ double feasible_scale(const Evaluator& ev, const std::vector<double>& x,
 
 // Projected objective: log chi after scaling onto the feasible boundary.
 double projected_objective(const Evaluator& ev, const std::vector<double>& u,
-                           const std::vector<std::string>& vars, double X,
+                           double X,
                            std::vector<double>* tiles_out = nullptr) {
   std::vector<double> x(u.size());
   for (std::size_t i = 0; i < u.size(); ++i) x[i] = std::exp(u[i]);
-  double m = feasible_scale(ev, x, vars, X);
+  double m = feasible_scale(ev, x, X);
   if (m == 0.0) return -1e300;
-  std::map<std::string, double> tiles;
+  std::vector<double> tiles(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
     double xi = std::max(1.0, m * x[i]);
-    tiles[vars[i]] = xi;
+    tiles[i] = xi;
     if (tiles_out) (*tiles_out)[i] = xi;
   }
   return std::log(ev.objective_value(tiles));
 }
 
 // Nelder-Mead in log-space (maximization); dimensions are tiny (<= ~10).
-std::vector<double> nelder_mead(const Evaluator& ev,
-                                const std::vector<std::string>& vars, double X,
+std::vector<double> nelder_mead(const Evaluator& ev, double X,
                                 std::vector<double> start, int iters) {
   const std::size_t n = start.size();
   auto f = [&](const std::vector<double>& u) {
-    return projected_objective(ev, u, vars, X);
+    return projected_objective(ev, u, X);
   };
   std::vector<std::vector<double>> simplex(n + 1, start);
   for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += 0.7;
@@ -172,25 +245,24 @@ std::vector<double> nelder_mead(const Evaluator& ev,
 // multiplicative equalization with projection back onto g = X.  Variables
 // clamped at x >= 1 stay clamped.  Only runs when no minimum-set constraint
 // is active.
-void kkt_polish(const Evaluator& ev, const OptimizationProblem& p, double X,
-                std::vector<double>* u) {
+void kkt_polish(const Evaluator& ev, double X, std::vector<double>* u) {
   const std::size_t n = u->size();
   auto tiles_of = [&](const std::vector<double>& uu) {
-    std::map<std::string, double> tiles;
+    std::vector<double> tiles(n);
     for (std::size_t i = 0; i < n; ++i) {
-      tiles[p.vars[i]] = std::exp(std::max(0.0, uu[i]));
+      tiles[i] = std::exp(std::max(0.0, uu[i]));
     }
     return tiles;
   };
   auto sum_g = [&](const std::vector<double>& uu) {
     auto tiles = tiles_of(uu);
     double s = 0.0;
-    for (const AccessTerm& t : p.sum_terms) s += t.eval(tiles);
+    for (const CompiledTerm& t : ev.sum_terms) s += t.eval(tiles);
     return s;
   };
   auto singles_ok = [&](const std::vector<double>& uu) {
     auto tiles = tiles_of(uu);
-    for (const AccessTerm& t : p.single_terms) {
+    for (const CompiledTerm& t : ev.single_terms) {
       if (t.eval(tiles) > X * (1.0 + 1e-9)) return false;
     }
     return true;
@@ -213,7 +285,7 @@ void kkt_polish(const Evaluator& ev, const OptimizationProblem& p, double X,
     std::vector<double> r(n);
     double mean_log = 0.0;
     int active = 0;
-    double f0 = std::exp(projected_objective(ev, w, p.vars, X));
+    double f0 = std::exp(projected_objective(ev, w, X));
     (void)f0;
     for (std::size_t i = 0; i < n; ++i) {
       std::vector<double> up = w, dn = w;
@@ -248,8 +320,8 @@ void kkt_polish(const Evaluator& ev, const OptimizationProblem& p, double X,
     if (!moved) break;
   }
   if (!singles_ok(w)) return;
-  double before = projected_objective(ev, *u, p.vars, X);
-  double after = projected_objective(ev, w, p.vars, X);
+  double before = projected_objective(ev, *u, X);
+  double after = projected_objective(ev, w, X);
   if (after >= before - 1e-12) *u = w;
 }
 
@@ -288,9 +360,9 @@ NumericOptimum solve_at(const OptimizationProblem& problem, double X,
     seeds.push_back(std::move(staggered));
   }
   for (auto& seed : seeds) {
-    std::vector<double> u = nelder_mead(ev, problem.vars, X, seed, 3000);
-    kkt_polish(ev, problem, X, &u);
-    double obj = projected_objective(ev, u, problem.vars, X);
+    std::vector<double> u = nelder_mead(ev, X, seed, 3000);
+    kkt_polish(ev, X, &u);
+    double obj = projected_objective(ev, u, X);
     if (obj > best_obj) {
       best_obj = obj;
       best_u = u;
@@ -299,7 +371,7 @@ NumericOptimum solve_at(const OptimizationProblem& problem, double X,
 
   NumericOptimum out;
   std::vector<double> tiles(n);
-  double logf = projected_objective(ev, best_u, problem.vars, X, &tiles);
+  double logf = projected_objective(ev, best_u, X, &tiles);
   for (std::size_t i = 0; i < n; ++i) out.tiles[problem.vars[i]] = tiles[i];
   out.chi = std::exp(logf);
   return out;

@@ -45,9 +45,8 @@ struct Builder {
     }
   }
 
-  std::vector<long long> eval_component(
-      const AccessComponent& comp,
-      const std::map<std::string, Rational>& env) const {
+  std::vector<long long> eval_component(const AccessComponent& comp,
+                                        const SymMap<Rational>& env) const {
     std::vector<long long> idx;
     idx.reserve(comp.index.size());
     for (const Affine& a : comp.index) {
@@ -61,7 +60,7 @@ struct Builder {
   }
 
   void execute(std::size_t stmt_index, const Statement& st,
-               const std::map<std::string, Rational>& env,
+               const SymMap<Rational>& env,
                std::vector<long long> iteration) {
     // Gather parents (dedup).
     std::vector<std::size_t> parents;
@@ -86,8 +85,15 @@ struct Builder {
 
   void run_statement(std::size_t stmt_index, const Statement& st,
                      const std::map<std::string, long long>& params) {
-    std::map<std::string, Rational> env;
-    for (const auto& [k, v] : params) env[k] = Rational(v);
+    SymMap<Rational> env;
+    for (const auto& [k, v] : params) env.set(intern_symbol(k), Rational(v));
+    // Loop variables interned once up front; the nest then only touches the
+    // flat SymId-keyed environment.
+    std::vector<SymId> loop_ids;
+    loop_ids.reserve(st.domain.loops().size());
+    for (const Loop& loop : st.domain.loops()) {
+      loop_ids.push_back(intern_symbol(loop.var));
+    }
     std::function<void(std::size_t, std::vector<long long>&)> nest =
         [&](std::size_t depth, std::vector<long long>& iter) {
           if (depth == st.domain.loops().size()) {
@@ -99,12 +105,12 @@ struct Builder {
           Rational hi = loop.upper.eval(env);
           for (long long v = static_cast<long long>(lo.floor());
                v < static_cast<long long>(hi.floor()); ++v) {
-            env[loop.var] = Rational(v);
+            env[loop_ids[depth]] = Rational(v);
             iter.push_back(v);
             nest(depth + 1, iter);
             iter.pop_back();
           }
-          env.erase(loop.var);
+          env.erase(loop_ids[depth]);
         };
     std::vector<long long> iter;
     nest(0, iter);

@@ -12,8 +12,7 @@ std::uint64_t TraceBuilder::address(const std::string& array,
   return it->second;
 }
 
-void TraceBuilder::execute(const Statement& st,
-                           std::map<std::string, Rational>& env) {
+void TraceBuilder::execute(const Statement& st, const SymMap<Rational>& env) {
   auto eval_component = [&](const AccessComponent& comp) {
     std::vector<long long> idx;
     idx.reserve(comp.index.size());
@@ -34,8 +33,13 @@ void TraceBuilder::execute(const Statement& st,
 
 void TraceBuilder::append_natural(
     const Statement& st, const std::map<std::string, long long>& params) {
-  std::map<std::string, Rational> env;
-  for (const auto& [k, v] : params) env[k] = Rational(v);
+  SymMap<Rational> env;
+  for (const auto& [k, v] : params) env.set(intern_symbol(k), Rational(v));
+  std::vector<SymId> loop_ids;
+  loop_ids.reserve(st.domain.loops().size());
+  for (const Loop& loop : st.domain.loops()) {
+    loop_ids.push_back(intern_symbol(loop.var));
+  }
   std::function<void(std::size_t)> nest = [&](std::size_t depth) {
     if (depth == st.domain.loops().size()) {
       execute(st, env);
@@ -45,10 +49,10 @@ void TraceBuilder::append_natural(
     long long lo = static_cast<long long>(loop.lower.eval(env).floor());
     long long hi = static_cast<long long>(loop.upper.eval(env).floor());
     for (long long v = lo; v < hi; ++v) {
-      env[loop.var] = Rational(v);
+      env[loop_ids[depth]] = Rational(v);
       nest(depth + 1);
     }
-    env.erase(loop.var);
+    env.erase(loop_ids[depth]);
   };
   nest(0);
 }
@@ -56,10 +60,13 @@ void TraceBuilder::append_natural(
 void TraceBuilder::append_tiled(const Statement& st,
                                 const std::map<std::string, long long>& params,
                                 const std::map<std::string, long long>& tiles) {
-  std::map<std::string, Rational> env;
-  for (const auto& [k, v] : params) env[k] = Rational(v);
+  SymMap<Rational> env;
+  for (const auto& [k, v] : params) env.set(intern_symbol(k), Rational(v));
   const auto& loops = st.domain.loops();
   const std::size_t depth = loops.size();
+  std::vector<SymId> loop_ids;
+  loop_ids.reserve(depth);
+  for (const Loop& loop : loops) loop_ids.push_back(intern_symbol(loop.var));
   // Tile origins per level, then points within the tile.  Bounds may depend
   // on outer iteration variables, so origins are enumerated against the
   // loosest bound and empty tiles simply produce no executions.
@@ -80,10 +87,10 @@ void TraceBuilder::append_tiled(const Statement& st,
     long long from = std::max(lo, origin[d]);
     long long to = std::min(hi, origin[d] + tile_size[d]);
     for (long long v = from; v < to; ++v) {
-      env[loops[d].var] = Rational(v);
+      env[loop_ids[d]] = Rational(v);
       point_nest(d + 1);
     }
-    env.erase(loops[d].var);
+    env.erase(loop_ids[d]);
   };
 
   // Global bounds for origins: evaluate with outer variables unset is not
@@ -96,14 +103,14 @@ void TraceBuilder::append_tiled(const Statement& st,
       point_nest(0);
       return;
     }
-    std::map<std::string, Rational> hull = env;
+    SymMap<Rational> hull = env;
     for (std::size_t i = 0; i < d; ++i) {
       // Outer tile origins are fixed; use the last point of the tile so
       // upward-dependent bounds (range(0, i)) are not truncated.
-      hull[loops[i].var] = Rational(origin[i] + tile_size[i] - 1);
+      hull[loop_ids[i]] = Rational(origin[i] + tile_size[i] - 1);
     }
     for (std::size_t i = d; i < depth; ++i) {
-      if (!hull.count(loops[i].var)) hull[loops[i].var] = Rational(0);
+      if (!hull.contains(loop_ids[i])) hull[loop_ids[i]] = Rational(0);
     }
     long long lo = static_cast<long long>(loops[d].lower.eval(hull).floor());
     long long hi = static_cast<long long>(loops[d].upper.eval(hull).floor());

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "soap/statement.hpp"
+#include "support/sym_map.hpp"
 
 namespace soap::schedule {
 
@@ -39,7 +40,7 @@ class TraceBuilder {
  private:
   std::uint64_t address(const std::string& array,
                         const std::vector<long long>& idx);
-  void execute(const Statement& st, std::map<std::string, Rational>& env);
+  void execute(const Statement& st, const SymMap<Rational>& env);
   std::map<std::pair<std::string, std::vector<long long>>, std::uint64_t>
       address_of_;
   std::vector<Access> trace_;

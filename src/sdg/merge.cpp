@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "bounds/access_size.hpp"
 #include "soap/projection.hpp"
@@ -12,20 +13,21 @@ namespace soap::sdg {
 
 namespace {
 
-Affine rename_affine(const Affine& a,
-                     const std::map<std::string, std::string>& rename) {
+/// Variable renaming as a SymId -> SymId flat map (no string traffic on the
+/// per-subgraph merge path, which bench_sdg_scaling exercises heavily).
+using Rename = SymMap<SymId>;
+
+Affine rename_affine(const Affine& a, const Rename& rename) {
   Affine out(a.constant());
   for (const auto& [v, c] : a.coeffs()) {
-    auto it = rename.find(v);
-    const std::string& name = it == rename.end() ? v : it->second;
-    out = out + c * Affine::variable(name);
+    const SymId* unified = rename.find(v);
+    out = out + c * Affine::variable(unified == nullptr ? v : *unified);
   }
   return out;
 }
 
-AccessComponent rename_component(
-    const AccessComponent& comp,
-    const std::map<std::string, std::string>& rename) {
+AccessComponent rename_component(const AccessComponent& comp,
+                                 const Rename& rename) {
   AccessComponent out;
   out.index.reserve(comp.index.size());
   for (const Affine& idx : comp.index) {
@@ -126,10 +128,11 @@ MergedSubgraph merge_subgraph(const Sdg& sdg,
     used_names.insert(name);
     class_name[root] = name;
   }
-  std::map<int, std::map<std::string, std::string>> stmt_rename;
+  std::map<int, Rename> stmt_rename;
   for (std::size_t i = 0; i < slots.size(); ++i) {
     const std::string& unified = class_name.at(uf.find(i));
-    stmt_rename[slots[i].first][slots[i].second] = unified;
+    stmt_rename[slots[i].first].set(intern_symbol(slots[i].second),
+                                    intern_symbol(unified));
     out.rename[slots[i]] = unified;
   }
 
@@ -139,7 +142,12 @@ MergedSubgraph merge_subgraph(const Sdg& sdg,
     const Statement& st = program.statements[static_cast<std::size_t>(s)];
     const auto& rename = stmt_rename[s];
     for (const Loop& l : st.domain.loops()) {
-      const std::string& name = rename.at(l.var);
+      const SymId* unified = rename.find(intern_symbol(l.var));
+      if (unified == nullptr) {
+        throw std::logic_error("merge_subgraph: unregistered loop variable " +
+                               l.var);
+      }
+      const std::string& name = symbol_name(*unified);
       if (!loop_added.insert(name).second) continue;
       out.merged_loops.push_back({name, rename_affine(l.lower, rename),
                                   rename_affine(l.upper, rename)});
@@ -285,7 +293,11 @@ MergedSubgraph merge_subgraph(const Sdg& sdg,
     const auto& rename = stmt_rename[s];
     bounds::ObjectiveMonomial mono;
     for (const std::string& v : st.domain.variables()) {
-      mono.degrees[rename.at(v)] += 1;
+      const SymId* unified = rename.find(intern_symbol(v));
+      if (unified == nullptr) {
+        throw std::logic_error("merge_subgraph: unregistered variable " + v);
+      }
+      mono.degrees[symbol_name(*unified)] += 1;
     }
     bool merged = false;
     for (auto& existing : out.problem.objective) {

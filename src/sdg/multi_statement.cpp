@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "bounds/intensity.hpp"
 #include "sdg/subgraph.hpp"
+#include "support/sym_map.hpp"
 #include "symbolic/leading.hpp"
 
 namespace soap::sdg {
@@ -13,10 +15,15 @@ namespace {
 
 constexpr double kReferenceS = 1 << 20;
 
+const SymIdSet& s_only() {
+  static const SymIdSet set = SymIdSet::from_unsorted({intern_symbol("S")});
+  return set;
+}
+
 double eval_all(const sym::Expr& e, double size_value, double s_value) {
-  std::map<std::string, double> env;
-  for (const std::string& v : e.symbols()) env[v] = size_value;
-  env["S"] = s_value;
+  SymMap<double> env;
+  for (SymId v : e.symbol_ids()) env.set(v, size_value);
+  env.set(intern_symbol("S"), s_value);
   return e.eval(env);
 }
 
@@ -34,12 +41,18 @@ std::optional<MultiStatementBound> multi_statement_bound(
   };
   std::vector<Evaluated> evaluated;
   auto subgraphs = enumerate_subgraphs(sdg, options.max_subgraph_size);
+  // Distinct subgraphs frequently derive the *same* intensity expression
+  // (hash-consing makes them the same node); cache the reference evaluation
+  // by expression identity.
+  std::unordered_map<sym::Expr, double> rho_value_cache;
   for (const auto& H : subgraphs) {
     MergedSubgraph merged = merge_subgraph(sdg, H);
     auto chi = bounds::derive_chi(merged.problem);
     if (!chi) continue;  // unbounded intensity: no constraint from this H
     bounds::IntensityResult in = bounds::minimize_intensity(*chi);
-    double value = eval_all(in.rho, 1.0, kReferenceS);
+    auto [it, inserted] = rho_value_cache.try_emplace(in.rho, 0.0);
+    if (inserted) it->second = eval_all(in.rho, 1.0, kReferenceS);
+    double value = it->second;
     if (!std::isfinite(value) || value <= 0) continue;
     evaluated.push_back({H, in.rho, value});
   }
@@ -60,8 +73,8 @@ std::optional<MultiStatementBound> multi_statement_bound(
     }
     ArrayBound ab;
     ab.array = array;
-    ab.cdag_size = sym::leading_term_except(program.array_cdag_size(array),
-                                            {"S"});
+    ab.cdag_size =
+        sym::leading_term_except(program.array_cdag_size(array), s_only());
     if (best == nullptr) {
       // No finite-intensity subgraph covers this array: it contributes no
       // I/O in this accounting (unlimited reuse).
@@ -75,7 +88,7 @@ std::optional<MultiStatementBound> multi_statement_bound(
     q_sdg = q_sdg + ab.cdag_size / best->rho;
     out.per_array.push_back(std::move(ab));
   }
-  out.Q_sdg = sym::leading_term_except(q_sdg, {"S"});
+  out.Q_sdg = sym::leading_term_except(q_sdg, s_only());
 
   // Cold bound: touched inputs + terminal outputs, each at least once.
   sym::Expr q_cold(0);
@@ -85,7 +98,7 @@ std::optional<MultiStatementBound> multi_statement_bound(
   for (const std::string& a : program.terminal_arrays()) {
     q_cold = q_cold + program.array_element_count(a);
   }
-  out.Q_cold = sym::leading_term_except(q_cold, {"S"});
+  out.Q_cold = sym::leading_term_except(q_cold, s_only());
 
   // Final: the numerically larger of the two sound bounds at a reference
   // point (sizes >> S so the leading terms dominate).

@@ -7,21 +7,30 @@
 
 namespace soap {
 
-Affine Affine::variable(const std::string& name) {
+Affine Affine::variable(SymId id) {
   Affine a;
-  a.coeffs_[name] = Rational(1);
+  a.coeffs_[id] = Rational(1);
   return a;
 }
 
+Affine Affine::variable(const std::string& name) {
+  return variable(intern_symbol(name));
+}
+
+Rational Affine::coeff(SymId var) const {
+  const Rational* c = coeffs_.find(var);
+  return c == nullptr ? Rational(0) : *c;
+}
+
 Rational Affine::coeff(const std::string& var) const {
-  auto it = coeffs_.find(var);
-  return it == coeffs_.end() ? Rational(0) : it->second;
+  return coeff(intern_symbol(var));
 }
 
 std::vector<std::string> Affine::variables() const {
   std::vector<std::string> out;
   out.reserve(coeffs_.size());
-  for (const auto& [v, _] : coeffs_) out.push_back(v);
+  for (const auto& [v, _] : coeffs_) out.push_back(symbol_name(v));
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -53,21 +62,36 @@ Affine operator*(const Rational& s, const Affine& a) {
   return out;
 }
 
-Rational Affine::eval(const std::map<std::string, Rational>& env) const {
+Rational Affine::eval(const SymMap<Rational>& env) const {
   Rational r = constant_;
   for (const auto& [v, c] : coeffs_) {
-    auto it = env.find(v);
-    if (it == env.end())
-      throw std::out_of_range("Affine::eval: unbound variable " + v);
-    r += c * it->second;
+    const Rational* bound = env.find(v);
+    if (bound == nullptr) {
+      throw std::out_of_range("Affine::eval: unbound variable " +
+                              symbol_name(v));
+    }
+    r += c * *bound;
   }
   return r;
 }
 
+Rational Affine::eval(const std::map<std::string, Rational>& env) const {
+  SymMap<Rational> ids;
+  for (const auto& [name, v] : env) ids.set(intern_symbol(name), v);
+  return eval(ids);
+}
+
 std::string Affine::str() const {
+  // Render in name order (the SymId-keyed storage iterates in intern order,
+  // which would make output depend on interning history).
+  std::vector<std::pair<std::string, Rational>> named;
+  named.reserve(coeffs_.size());
+  for (const auto& [id, c] : coeffs_) named.emplace_back(symbol_name(id), c);
+  std::sort(named.begin(), named.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   std::ostringstream os;
   bool first = true;
-  for (const auto& [v, c] : coeffs_) {
+  for (const auto& [v, c] : named) {
     if (first) {
       if (c == Rational(1)) {
         os << v;

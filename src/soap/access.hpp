@@ -8,26 +8,31 @@
 #include <string>
 #include <vector>
 
+#include "support/interner.hpp"
 #include "support/rational.hpp"
+#include "support/sym_map.hpp"
 
 namespace soap {
 
 /// An affine form  c0 + sum_i c_i * var_i  over iteration variables and
 /// program parameters.  Used for array subscripts and loop bounds.
+/// Variables are interned SymIds internally; the string API is a thin
+/// convenience layer.
 class Affine {
  public:
   Affine() = default;
   Affine(long long c) : constant_(c) {}  // NOLINT(implicit)
   Affine(const Rational& c) : constant_(c) {}  // NOLINT(implicit)
+  static Affine variable(SymId id);
   static Affine variable(const std::string& name);
 
   [[nodiscard]] const Rational& constant() const { return constant_; }
-  [[nodiscard]] const std::map<std::string, Rational>& coeffs() const {
-    return coeffs_;
-  }
+  /// SymId-keyed coefficients (iteration order: SymId, not name).
+  [[nodiscard]] const SymMap<Rational>& coeffs() const { return coeffs_; }
+  [[nodiscard]] Rational coeff(SymId var) const;
   [[nodiscard]] Rational coeff(const std::string& var) const;
   [[nodiscard]] bool is_constant() const { return coeffs_.empty(); }
-  /// Variables with non-zero coefficient.
+  /// Variables with non-zero coefficient, sorted by name.
   [[nodiscard]] std::vector<std::string> variables() const;
 
   Affine operator-() const;
@@ -39,12 +44,13 @@ class Affine {
     return a.constant_ == b.constant_ && a.coeffs_ == b.coeffs_;
   }
 
+  [[nodiscard]] Rational eval(const SymMap<Rational>& env) const;
   [[nodiscard]] Rational eval(const std::map<std::string, Rational>& env) const;
   [[nodiscard]] std::string str() const;
 
  private:
   Rational constant_ = 0;
-  std::map<std::string, Rational> coeffs_;  // invariant: no zero coefficients
+  SymMap<Rational> coeffs_;  // invariant: no zero coefficients
 };
 
 /// One access-function-vector component phi_{j,k}: a subscript tuple, one

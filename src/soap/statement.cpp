@@ -60,8 +60,9 @@ sym::Expr subscript_extent(const Affine& idx, const Domain& dom) {
   sym::Expr total(0);
   bool any = false;
   for (const auto& [v, c] : idx.coeffs()) {
+    const std::string& name = symbol_name(v);
     for (const Loop& l : dom.loops()) {
-      if (l.var == v) {
+      if (l.var == name) {
         sym::Polynomial extent = affine_to_polynomial(l.upper) -
                                  affine_to_polynomial(l.lower);
         total = total + sym::Expr(c.abs()) * extent.leading_terms().to_expr();

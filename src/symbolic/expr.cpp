@@ -2,21 +2,202 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
 namespace soap::sym {
 
 namespace {
-
-NodePtr make_node(Node n) { return std::make_shared<const Node>(std::move(n)); }
 
 int kind_rank(Kind k) { return static_cast<int>(k); }
 
 int cmp_rational(const Rational& a, const Rational& b) {
   if (a == b) return 0;
   return a < b ? -1 : 1;
+}
+
+std::size_t hash_mix(std::size_t h, std::size_t v) {
+  // boost::hash_combine-style mixing.
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+std::size_t rational_hash(const Rational& r) {
+  auto fold = [](int128 v) {
+    auto u = static_cast<unsigned __int128>(v);
+    return static_cast<std::size_t>(u) ^
+           static_cast<std::size_t>(u >> 64);
+  };
+  return hash_mix(fold(r.num()), fold(r.den()));
+}
+
+/// Content hash of a node whose operands are already interned (their ids are
+/// final).  Stored in Node::hash; this is what std::hash<Expr> returns.
+std::size_t content_hash(const Node& n) {
+  std::size_t h = hash_mix(0x517cc1b727220a95ULL,
+                           static_cast<std::size_t>(n.kind));
+  switch (n.kind) {
+    case Kind::kConst:
+      return hash_mix(h, rational_hash(n.value));
+    case Kind::kSymbol:
+      return hash_mix(h, static_cast<std::size_t>(n.sym.value));
+    case Kind::kPow:
+      h = hash_mix(h, static_cast<std::size_t>(n.operands[0].id()));
+      return hash_mix(h, rational_hash(n.exponent));
+    default:
+      for (const Expr& o : n.operands) {
+        h = hash_mix(h, static_cast<std::size_t>(o.id()));
+      }
+      return h;
+  }
+}
+
+/// Structural equality of two nodes given interned (pointer-comparable)
+/// operands.  This is the intern table's collision check.
+bool content_equal(const Node& a, const Node& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Kind::kConst:
+      return a.value == b.value;
+    case Kind::kSymbol:
+      return a.sym == b.sym;
+    case Kind::kPow:
+      return a.exponent == b.exponent &&
+             &a.operands[0].node() == &b.operands[0].node();
+    default: {
+      if (a.operands.size() != b.operands.size()) return false;
+      for (std::size_t i = 0; i < a.operands.size(); ++i) {
+        if (&a.operands[i].node() != &b.operands[i].node()) return false;
+      }
+      return true;
+    }
+  }
+}
+
+/// The hash-consing table.  Entries are weak: a node is evicted by its
+/// deleter when the last Expr referencing it dies, so the table never grows
+/// beyond the live working set.  Buckets are keyed by the content hash and
+/// hold (raw pointer, weak_ptr) pairs; the raw pointer lets the deleter
+/// erase exactly its own entry even if an equal-content node was re-interned
+/// while this one was dying.
+struct ExprInternTable {
+  std::mutex mu;
+  std::unordered_map<std::size_t,
+                     std::vector<std::pair<const Node*,
+                                           std::weak_ptr<const Node>>>>
+      buckets;
+  std::uint64_t next_id = 1;
+};
+
+// Leaked on purpose: Exprs held in static storage (test fixtures, golden
+// rows) may be destroyed after any static table would be, and their deleters
+// must still find the table.  The pointer stays reachable, so LeakSanitizer
+// does not flag it.
+ExprInternTable& expr_table() {
+  static auto* t = new ExprInternTable();
+  return *t;
+}
+
+struct NodeDeleter {
+  void operator()(const Node* n) const {
+    ExprInternTable& t = expr_table();
+    {
+      std::lock_guard<std::mutex> lock(t.mu);
+      auto it = t.buckets.find(n->hash);
+      if (it != t.buckets.end()) {
+        auto& vec = it->second;
+        for (auto vit = vec.begin(); vit != vec.end(); ++vit) {
+          if (vit->first == n) {
+            vec.erase(vit);
+            break;
+          }
+        }
+        if (vec.empty()) t.buckets.erase(it);
+      }
+    }
+    // Outside the lock: destroying operands may recursively run deleters.
+    delete n;
+  }
+};
+
+/// Fills the per-node symbol-set cache (sorted distinct SymIds + bloom mask)
+/// from the node's own symbol / its operands' caches.
+void fill_symbol_cache(Node* n) {
+  if (n->kind == Kind::kSymbol) {
+    n->symbol_ids = {n->sym};
+    n->sym_mask = 1ULL << (n->sym.value & 63u);
+    return;
+  }
+  if (n->operands.empty()) return;  // constants
+  std::uint64_t size = 1;
+  for (const Expr& o : n->operands) size += o.node().tree_size;
+  n->tree_size = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(size, 0xffffffffu));
+  if (n->operands.size() == 1) {
+    n->symbol_ids = n->operands[0].symbol_ids();
+    n->sym_mask = n->operands[0].node().sym_mask;
+    return;
+  }
+  std::vector<SymId> merged;
+  for (const Expr& o : n->operands) {
+    const auto& ids = o.symbol_ids();
+    merged.insert(merged.end(), ids.begin(), ids.end());
+    n->sym_mask |= o.node().sym_mask;
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  n->symbol_ids = std::move(merged);
+}
+
+/// Memoization pays for itself only when an expression actually shares
+/// subtrees; below this (tree-node) size the per-call hash-map costs more
+/// than the walk it saves, so the rewriters run unmemoized.
+constexpr std::uint32_t kMemoThreshold = 64;
+
+NodePtr intern_node(Node&& n) {
+  n.hash = content_hash(n);
+  fill_symbol_cache(&n);
+  ExprInternTable& t = expr_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto& vec = t.buckets[n.hash];
+  for (const auto& [raw, weak] : vec) {
+    if (content_equal(*raw, n)) {
+      if (NodePtr sp = weak.lock()) return sp;
+      // Expired entry: the equal node is mid-destruction on another thread;
+      // fall through and intern a fresh copy (its deleter erases by pointer).
+    }
+  }
+  n.id = t.next_id++;
+  NodePtr p(new Node(std::move(n)), NodeDeleter{});
+  vec.emplace_back(p.get(), std::weak_ptr<const Node>(p));
+  return p;
+}
+
+NodePtr intern_const(const Rational& r) {
+  Node n;
+  n.kind = Kind::kConst;
+  n.value = r;
+  return intern_node(std::move(n));
+}
+
+NodePtr intern_sym(SymId id) {
+  Node n;
+  n.kind = Kind::kSymbol;
+  n.sym = id;
+  n.sym_name = &symbol_name(id);
+  return intern_node(std::move(n));
+}
+
+NodePtr intern_composite(Kind kind, std::vector<Expr> operands,
+                         const Rational& exponent = Rational(0)) {
+  Node n;
+  n.kind = kind;
+  n.operands = std::move(operands);
+  n.exponent = exponent;
+  return intern_node(std::move(n));
 }
 
 /// Extracts from |v| the largest factor that is a perfect q-th power:
@@ -43,14 +224,27 @@ void extract_qth_power(int128 v, long long q, int128* root, int128* rest) {
 Expr make_add(std::vector<Expr> terms);
 Expr make_mul(std::vector<Expr> factors);
 
-Expr::Expr() : Expr(Rational(0)) {}
+namespace detail {
+/// expr.cpp-internal privilege bridge: lets file-local helpers wrap interned
+/// nodes into Exprs without widening the public constructor surface.
+class ExprFactory {
+ public:
+  static Expr wrap(NodePtr n) { return Expr(std::move(n)); }
+};
+}  // namespace detail
+
+Expr::Expr() {
+  static const NodePtr zero = intern_const(Rational(0));
+  node_ = zero;
+}
 Expr::Expr(long long v) : Expr(Rational(v)) {}
-Expr::Expr(const Rational& r)
-    : node_(make_node(Node{Kind::kConst, r, {}, {}, Rational(0)})) {}
+Expr::Expr(const Rational& r) : node_(intern_const(r)) {}
 
 Expr Expr::symbol(const std::string& name) {
-  return Expr(make_node(Node{Kind::kSymbol, Rational(0), name, {}, Rational(0)}));
+  return Expr(intern_sym(intern_symbol(name)));
 }
+
+Expr Expr::symbol(SymId id) { return Expr(intern_sym(id)); }
 
 const Rational& Expr::value() const {
   if (!is_const()) throw std::logic_error("Expr::value on non-constant");
@@ -59,10 +253,18 @@ const Rational& Expr::value() const {
 
 const std::string& Expr::name() const {
   if (kind() != Kind::kSymbol) throw std::logic_error("Expr::name on non-symbol");
-  return node_->name;
+  return *node_->sym_name;
+}
+
+SymId Expr::sym_id() const {
+  if (kind() != Kind::kSymbol)
+    throw std::logic_error("Expr::sym_id on non-symbol");
+  return node_->sym;
 }
 
 int Expr::compare(const Expr& a, const Expr& b) {
+  // Hash-consing: equality is pointer identity, so distinct nodes always
+  // find a structural difference below; shared subtrees short-circuit here.
   if (a.node_ == b.node_) return 0;
   if (a.kind() != b.kind()) return kind_rank(a.kind()) - kind_rank(b.kind());
   switch (a.kind()) {
@@ -89,11 +291,9 @@ int Expr::compare(const Expr& a, const Expr& b) {
 
 namespace {
 
-struct ExprLess {
-  bool operator()(const Expr& a, const Expr& b) const {
-    return Expr::compare(a, b) < 0;
-  }
-};
+bool expr_less(const Expr& a, const Expr& b) {
+  return Expr::compare(a, b) < 0;
+}
 
 }  // namespace
 
@@ -102,20 +302,123 @@ std::pair<Rational, Expr> split_coefficient(const Expr& term) {
   if (term.kind() == Kind::kMul) {
     const auto& ops = term.operands();
     if (!ops.empty() && ops[0].is_const()) {
+      if (ops.size() == 2) return {ops[0].value(), ops[1]};
+      // The factors of a canonical Mul are already canonical and sorted, so
+      // the core can be interned directly instead of re-canonicalized
+      // through make_mul — this runs for every term of every sum rebuild.
       std::vector<Expr> rest(ops.begin() + 1, ops.end());
-      return {ops[0].value(), make_mul(std::move(rest))};
+      return {ops[0].value(),
+              Expr(intern_composite(Kind::kMul, std::move(rest)))};
     }
   }
   return {Rational(1), term};
 }
 
+namespace {
+
+/// coeff*core in canonical Mul layout without re-canonicalizing through
+/// make_mul: cores produced by split_coefficient are const-free with sorted
+/// factors, so prepending the constant reproduces make_mul's output exactly.
+/// Requires coeff not in {0, 1} and core non-const.
+Expr scale_core(const Rational& coeff, const Expr& core) {
+  if (core.kind() == Kind::kMul) {
+    std::vector<Expr> fs;
+    fs.reserve(core.operands().size() + 1);
+    fs.emplace_back(coeff);
+    fs.insert(fs.end(), core.operands().begin(), core.operands().end());
+    return detail::ExprFactory::wrap(
+        intern_composite(Kind::kMul, std::move(fs)));
+  }
+  return detail::ExprFactory::wrap(
+      intern_composite(Kind::kMul, {Expr(coeff), core}));
+}
+
+/// True when canonical summand `t` (non-Add, non-Const) has core `core`,
+/// i.e. split_coefficient(t).second == core.  Pointer comparisons only.
+bool term_has_core(const Expr& t, const Expr& core) {
+  if (t == core) return true;  // coefficient 1
+  if (t.kind() != Kind::kMul) return false;
+  const auto& ops = t.operands();
+  if (!ops[0].is_const()) return false;
+  if (core.kind() == Kind::kMul) {
+    const auto& cops = core.operands();
+    if (ops.size() != cops.size() + 1) return false;
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      if (ops[i + 1] != cops[i]) return false;
+    }
+    return true;
+  }
+  return ops.size() == 2 && ops[1] == core;
+}
+
+/// Fast path for the hot incremental pattern (canonical sum) + (one term):
+/// merges into the existing sorted operand list — pointer-equality like-term
+/// search, one sorted insert — instead of rebuilding the like-term map over
+/// all summands (which made repeated `sum = sum + term` quadratic in
+/// allocations and hashing).
+Expr add_one_term(const Expr& sum, const Expr& t) {
+  std::vector<Expr> out(sum.operands());
+  if (t.is_const()) {
+    if (!t.value().is_zero()) {
+      if (out[0].is_const()) {
+        Rational c = out[0].value() + t.value();
+        if (c.is_zero()) {
+          out.erase(out.begin());
+        } else {
+          out[0] = Expr(c);
+        }
+      } else {
+        out.insert(out.begin(), t);
+      }
+    }
+  } else {
+    auto [coeff, core] = split_coefficient(t);
+    std::size_t like = out.size();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (term_has_core(out[i], core)) {
+        like = i;
+        break;
+      }
+    }
+    if (like < out.size()) {
+      Rational c = out[like] == core ? Rational(1)
+                                     : out[like].operands()[0].value();
+      c += coeff;
+      out.erase(out.begin() + like);
+      coeff = c;
+    }
+    if (!coeff.is_zero()) {
+      Expr term = coeff.is_one() ? core : scale_core(coeff, core);
+      out.insert(std::lower_bound(out.begin(), out.end(), term, expr_less),
+                 term);
+    }
+  }
+  if (out.empty()) return Expr(0);
+  if (out.size() == 1) return out[0];
+  return detail::ExprFactory::wrap(intern_composite(Kind::kAdd, std::move(out)));
+}
+
+}  // namespace
+
 Expr make_add(std::vector<Expr> terms) {
-  // Flatten, fold constants, combine like terms.
+  if (terms.size() == 2) {
+    // operator+/operator- funnel here; merging one term into an existing
+    // canonical sum is the analysis hot path (bound assembly, Faulhaber).
+    if (terms[0].kind() == Kind::kAdd && terms[1].kind() != Kind::kAdd) {
+      return add_one_term(terms[0], terms[1]);
+    }
+    if (terms[1].kind() == Kind::kAdd && terms[0].kind() != Kind::kAdd) {
+      return add_one_term(terms[1], terms[0]);
+    }
+  }
+  // Flatten, fold constants, combine like terms.  Like-term lookup is O(1)
+  // via the cached node hash + pointer equality; the (small) set of distinct
+  // cores is sorted structurally once at the end.
   Rational const_sum = 0;
-  std::map<Expr, Rational, ExprLess> by_core;
+  std::unordered_map<Expr, Rational> by_core;
   std::vector<Expr> work = std::move(terms);
   for (std::size_t i = 0; i < work.size(); ++i) {
-    const Expr& t = work[i];
+    const Expr t = work[i];  // by value: work may reallocate below
     if (t.kind() == Kind::kAdd) {
       for (const Expr& sub : t.operands()) work.push_back(sub);
       continue;
@@ -131,27 +434,21 @@ Expr make_add(std::vector<Expr> terms) {
   if (!const_sum.is_zero()) out.emplace_back(const_sum);
   for (const auto& [core, coeff] : by_core) {
     if (coeff.is_zero()) continue;
-    if (coeff.is_one()) {
-      out.push_back(core);
-    } else {
-      out.push_back(make_mul({Expr(coeff), core}));
-    }
+    out.push_back(coeff.is_one() ? core : scale_core(coeff, core));
   }
   if (out.empty()) return Expr(0);
   if (out.size() == 1) return out[0];
-  std::sort(out.begin(), out.end(),
-            [](const Expr& a, const Expr& b) { return Expr::compare(a, b) < 0; });
-  return Expr(make_node(
-      Node{Kind::kAdd, Rational(0), {}, std::move(out), Rational(0)}));
+  std::sort(out.begin(), out.end(), expr_less);
+  return Expr(intern_composite(Kind::kAdd, std::move(out)));
 }
 
 Expr make_mul(std::vector<Expr> factors) {
   Rational const_prod = 1;
-  // base -> accumulated exponent.
-  std::map<Expr, Rational, ExprLess> by_base;
+  // base -> accumulated exponent (O(1) lookup via cached hashes).
+  std::unordered_map<Expr, Rational> by_base;
   std::vector<Expr> work = std::move(factors);
   for (std::size_t i = 0; i < work.size(); ++i) {
-    const Expr& f = work[i];
+    const Expr f = work[i];  // by value: work may reallocate below
     if (f.kind() == Kind::kMul) {
       for (const Expr& sub : f.operands()) work.push_back(sub);
       continue;
@@ -210,14 +507,12 @@ Expr make_mul(std::vector<Expr> factors) {
     }
   }
   if (out.empty()) return Expr(const_prod);
-  std::sort(out.begin(), out.end(),
-            [](const Expr& a, const Expr& b) { return Expr::compare(a, b) < 0; });
+  std::sort(out.begin(), out.end(), expr_less);
   if (!const_prod.is_one()) {
     out.insert(out.begin(), Expr(const_prod));
   }
   if (out.size() == 1) return out[0];
-  return Expr(make_node(
-      Node{Kind::kMul, Rational(0), {}, std::move(out), Rational(0)}));
+  return Expr(intern_composite(Kind::kMul, std::move(out)));
 }
 
 Expr pow(const Expr& base, const Rational& e) {
@@ -246,8 +541,7 @@ Expr pow(const Expr& base, const Rational& e) {
     extract_qth_power(radicand, q, &rn, &sn);
     Rational outer = Rational(rn, c.den());
     Rational rest(sn, 1);
-    Expr radical(make_node(Node{Kind::kPow, Rational(0), {},
-                                {Expr(rest)}, Rational(1, q)}));
+    Expr radical(intern_composite(Kind::kPow, {Expr(rest)}, Rational(1, q)));
     if (outer.is_one()) return radical;
     return make_mul({Expr(outer), radical});
   }
@@ -260,58 +554,59 @@ Expr pow(const Expr& base, const Rational& e) {
     for (const Expr& f : base.operands()) factors.push_back(pow(f, e));
     return make_mul(std::move(factors));
   }
-  return Expr(make_node(Node{Kind::kPow, Rational(0), {}, {base}, e}));
+  return Expr(intern_composite(Kind::kPow, {base}, e));
 }
 
-Expr min(std::vector<Expr> args) {
-  if (args.empty()) throw std::invalid_argument("min: no arguments");
-  // Flatten and fold constants (keep the smallest).
+namespace {
+
+/// Shared flatten/fold/dedup for min and max: returns the canonical operand
+/// list.  `pick` keeps the winning constant.  Deduplication is sort + unique:
+/// with hash-consing, equal operands are the same node, so compare()==0 iff
+/// pointer-equal.
+template <class PickConst>
+std::vector<Expr> fold_minmax(Kind kind, std::vector<Expr> args,
+                              PickConst pick) {
   std::vector<Expr> out;
   bool have_const = false;
   Rational best = 0;
-  for (const Expr& a : args) {
-    if (a.kind() == Kind::kMin) {
-      for (const Expr& sub : a.operands()) args.push_back(sub);
+  std::vector<Expr> work = std::move(args);
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const Expr a = work[i];  // by value: work may reallocate below
+    if (a.kind() == kind) {
+      for (const Expr& sub : a.operands()) work.push_back(sub);
       continue;
     }
     if (a.is_const()) {
-      if (!have_const || a.value() < best) best = a.value();
+      if (!have_const || pick(a.value(), best)) best = a.value();
       have_const = true;
     } else {
       out.push_back(a);
     }
   }
   if (have_const) out.emplace_back(best);
-  std::sort(out.begin(), out.end(),
-            [](const Expr& a, const Expr& b) { return Expr::compare(a, b) < 0; });
+  std::sort(out.begin(), out.end(), expr_less);
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+Expr min(std::vector<Expr> args) {
+  if (args.empty()) throw std::invalid_argument("min: no arguments");
+  std::vector<Expr> out = fold_minmax(
+      Kind::kMin, std::move(args),
+      [](const Rational& a, const Rational& b) { return a < b; });
   if (out.size() == 1) return out[0];
-  return Expr(make_node(Node{Kind::kMin, Rational(0), {}, std::move(out), Rational(0)}));
+  return Expr(intern_composite(Kind::kMin, std::move(out)));
 }
 
 Expr max(std::vector<Expr> args) {
   if (args.empty()) throw std::invalid_argument("max: no arguments");
-  std::vector<Expr> out;
-  bool have_const = false;
-  Rational best = 0;
-  for (const Expr& a : args) {
-    if (a.kind() == Kind::kMax) {
-      for (const Expr& sub : a.operands()) args.push_back(sub);
-      continue;
-    }
-    if (a.is_const()) {
-      if (!have_const || a.value() > best) best = a.value();
-      have_const = true;
-    } else {
-      out.push_back(a);
-    }
-  }
-  if (have_const) out.emplace_back(best);
-  std::sort(out.begin(), out.end(),
-            [](const Expr& a, const Expr& b) { return Expr::compare(a, b) < 0; });
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  std::vector<Expr> out = fold_minmax(
+      Kind::kMax, std::move(args),
+      [](const Rational& a, const Rational& b) { return a > b; });
   if (out.size() == 1) return out[0];
-  return Expr(make_node(Node{Kind::kMax, Rational(0), {}, std::move(out), Rational(0)}));
+  return Expr(intern_composite(Kind::kMax, std::move(out)));
 }
 
 Expr operator+(const Expr& a, const Expr& b) { return make_add({a, b}); }
@@ -324,202 +619,353 @@ Expr operator/(const Expr& a, const Expr& b) {
   return make_mul({a, pow(b, Rational(-1))});
 }
 
-double Expr::eval(const std::map<std::string, double>& env) const {
-  switch (kind()) {
+namespace {
+
+double eval_impl(const Expr& e, const SymMap<double>& env,
+                 std::unordered_map<const Node*, double>* memo) {
+  switch (e.kind()) {
     case Kind::kConst:
-      return value().to_double();
+      return e.value().to_double();
     case Kind::kSymbol: {
-      auto it = env.find(name());
-      if (it == env.end())
-        throw std::out_of_range("Expr::eval: unbound symbol " + name());
-      return it->second;
+      const double* v = env.find(e.sym_id());
+      if (v == nullptr)
+        throw std::out_of_range("Expr::eval: unbound symbol " + e.name());
+      return *v;
     }
+    default:
+      break;
+  }
+  if (memo != nullptr) {
+    auto it = memo->find(&e.node());
+    if (it != memo->end()) return it->second;
+  }
+  double result = 0;
+  switch (e.kind()) {
     case Kind::kAdd: {
       double s = 0;
-      for (const Expr& t : operands()) s += t.eval(env);
-      return s;
+      for (const Expr& t : e.operands()) s += eval_impl(t, env, memo);
+      result = s;
+      break;
     }
     case Kind::kMul: {
       double p = 1;
-      for (const Expr& f : operands()) p *= f.eval(env);
-      return p;
+      for (const Expr& f : e.operands()) p *= eval_impl(f, env, memo);
+      result = p;
+      break;
     }
     case Kind::kPow:
-      return std::pow(operands()[0].eval(env), exponent().to_double());
+      result = std::pow(eval_impl(e.operands()[0], env, memo),
+                        e.exponent().to_double());
+      break;
     case Kind::kMin: {
-      double m = operands()[0].eval(env);
-      for (std::size_t i = 1; i < operands().size(); ++i)
-        m = std::min(m, operands()[i].eval(env));
-      return m;
+      double m = eval_impl(e.operands()[0], env, memo);
+      for (std::size_t i = 1; i < e.operands().size(); ++i)
+        m = std::min(m, eval_impl(e.operands()[i], env, memo));
+      result = m;
+      break;
     }
     case Kind::kMax: {
-      double m = operands()[0].eval(env);
-      for (std::size_t i = 1; i < operands().size(); ++i)
-        m = std::max(m, operands()[i].eval(env));
-      return m;
+      double m = eval_impl(e.operands()[0], env, memo);
+      for (std::size_t i = 1; i < e.operands().size(); ++i)
+        m = std::max(m, eval_impl(e.operands()[i], env, memo));
+      result = m;
+      break;
     }
+    default:
+      throw std::logic_error("Expr::eval: bad kind");
   }
-  throw std::logic_error("Expr::eval: bad kind");
+  if (memo != nullptr) memo->emplace(&e.node(), result);
+  return result;
 }
 
-Expr Expr::subs(const std::map<std::string, Expr>& env) const {
-  switch (kind()) {
-    case Kind::kConst:
-      return *this;
-    case Kind::kSymbol: {
-      auto it = env.find(name());
-      return it == env.end() ? *this : it->second;
-    }
+}  // namespace
+
+double Expr::eval(const SymMap<double>& env) const {
+  if (node_->tree_size < kMemoThreshold) return eval_impl(*this, env, nullptr);
+  std::unordered_map<const Node*, double> memo;
+  return eval_impl(*this, env, &memo);
+}
+
+double Expr::eval(const std::map<std::string, double>& env) const {
+  SymMap<double> ids;
+  for (const auto& [name, v] : env) ids.set(intern_symbol(name), v);
+  return eval(ids);
+}
+
+namespace {
+
+/// True when the node's cached symbol set intersects the env's key set
+/// (bloom mask first, then a two-pointer merge over the sorted vectors).
+bool mentions_any(const Node& n, const SymMap<Expr>& env,
+                  std::uint64_t env_mask) {
+  if ((n.sym_mask & env_mask) == 0) return false;
+  auto it = env.begin();
+  for (SymId id : n.symbol_ids) {
+    while (it != env.end() && it->first < id) ++it;
+    if (it == env.end()) return false;
+    if (it->first == id) return true;
+  }
+  return false;
+}
+
+Expr subs_impl(const Expr& e, const SymMap<Expr>& env, std::uint64_t env_mask,
+               std::unordered_map<const Node*, Expr>* memo) {
+  if (!mentions_any(e.node(), env, env_mask)) return e;
+  if (e.kind() == Kind::kSymbol) {
+    const Expr* r = env.find(e.sym_id());
+    return r == nullptr ? e : *r;
+  }
+  if (memo != nullptr) {
+    auto it = memo->find(&e.node());
+    if (it != memo->end()) return it->second;
+  }
+  Expr result;
+  switch (e.kind()) {
     case Kind::kAdd: {
       std::vector<Expr> ts;
-      ts.reserve(operands().size());
-      for (const Expr& t : operands()) ts.push_back(t.subs(env));
-      return make_add(std::move(ts));
+      ts.reserve(e.operands().size());
+      for (const Expr& t : e.operands())
+        ts.push_back(subs_impl(t, env, env_mask, memo));
+      result = make_add(std::move(ts));
+      break;
     }
     case Kind::kMul: {
       std::vector<Expr> fs;
-      fs.reserve(operands().size());
-      for (const Expr& f : operands()) fs.push_back(f.subs(env));
-      return make_mul(std::move(fs));
+      fs.reserve(e.operands().size());
+      for (const Expr& f : e.operands())
+        fs.push_back(subs_impl(f, env, env_mask, memo));
+      result = make_mul(std::move(fs));
+      break;
     }
     case Kind::kPow:
-      return pow(operands()[0].subs(env), exponent());
+      result = pow(subs_impl(e.operands()[0], env, env_mask, memo),
+                   e.exponent());
+      break;
     case Kind::kMin: {
       std::vector<Expr> as;
-      for (const Expr& a : operands()) as.push_back(a.subs(env));
-      return min(std::move(as));
+      as.reserve(e.operands().size());
+      for (const Expr& a : e.operands())
+        as.push_back(subs_impl(a, env, env_mask, memo));
+      result = min(std::move(as));
+      break;
     }
     case Kind::kMax: {
       std::vector<Expr> as;
-      for (const Expr& a : operands()) as.push_back(a.subs(env));
-      return max(std::move(as));
+      as.reserve(e.operands().size());
+      for (const Expr& a : e.operands())
+        as.push_back(subs_impl(a, env, env_mask, memo));
+      result = max(std::move(as));
+      break;
     }
+    default:
+      throw std::logic_error("Expr::subs: bad kind");
   }
-  throw std::logic_error("Expr::subs: bad kind");
+  if (memo != nullptr) memo->emplace(&e.node(), result);
+  return result;
 }
 
-Expr Expr::diff(const std::string& var) const {
-  switch (kind()) {
-    case Kind::kConst:
-      return Expr(0);
+}  // namespace
+
+Expr Expr::subs(const SymMap<Expr>& env) const {
+  std::uint64_t env_mask = 0;
+  for (const auto& kv : env) env_mask |= 1ULL << (kv.first.value & 63u);
+  if (node_->tree_size < kMemoThreshold) {
+    return subs_impl(*this, env, env_mask, nullptr);
+  }
+  std::unordered_map<const Node*, Expr> memo;
+  return subs_impl(*this, env, env_mask, &memo);
+}
+
+Expr Expr::subs(const std::map<std::string, Expr>& env) const {
+  SymMap<Expr> ids;
+  for (const auto& [name, e] : env) ids.set(intern_symbol(name), e);
+  return subs(ids);
+}
+
+namespace {
+
+Expr diff_impl(const Expr& e, SymId var,
+               std::unordered_map<const Node*, Expr>* memo) {
+  // Cached symbol sets: subtrees free of `var` differentiate to 0 in O(1).
+  if (!e.contains(var)) return Expr(0);
+  switch (e.kind()) {
     case Kind::kSymbol:
-      return name() == var ? Expr(1) : Expr(0);
+      return Expr(1);  // contains(var) held, so this is var itself
+    default:
+      break;
+  }
+  if (memo != nullptr) {
+    auto it = memo->find(&e.node());
+    if (it != memo->end()) return it->second;
+  }
+  Expr result;
+  switch (e.kind()) {
     case Kind::kAdd: {
       std::vector<Expr> ts;
-      for (const Expr& t : operands()) ts.push_back(t.diff(var));
-      return make_add(std::move(ts));
+      for (const Expr& t : e.operands()) ts.push_back(diff_impl(t, var, memo));
+      result = make_add(std::move(ts));
+      break;
     }
     case Kind::kMul: {
       // Product rule: sum_i f_i' * prod_{j != i} f_j.
       std::vector<Expr> terms;
-      const auto& ops = operands();
+      const auto& ops = e.operands();
       for (std::size_t i = 0; i < ops.size(); ++i) {
-        Expr d = ops[i].diff(var);
+        Expr d = diff_impl(ops[i], var, memo);
         if (d.is_zero()) continue;
         std::vector<Expr> fs = {d};
         for (std::size_t j = 0; j < ops.size(); ++j)
           if (j != i) fs.push_back(ops[j]);
         terms.push_back(make_mul(std::move(fs)));
       }
-      return make_add(std::move(terms));
+      result = make_add(std::move(terms));
+      break;
     }
     case Kind::kPow: {
-      const Expr& b = operands()[0];
-      Expr d = b.diff(var);
-      if (d.is_zero()) return Expr(0);
-      return make_mul({Expr(exponent()), pow(b, exponent() - Rational(1)), d});
+      const Expr& b = e.operands()[0];
+      Expr d = diff_impl(b, var, memo);
+      result = make_mul(
+          {Expr(e.exponent()), pow(b, e.exponent() - Rational(1)), d});
+      break;
     }
     case Kind::kMin:
     case Kind::kMax:
       throw std::domain_error("Expr::diff: min/max not differentiable");
+    default:
+      throw std::logic_error("Expr::diff: bad kind");
   }
-  throw std::logic_error("Expr::diff: bad kind");
-}
-
-namespace {
-
-void collect_symbols(const Expr& e, std::vector<std::string>* out) {
-  if (e.kind() == Kind::kSymbol) {
-    out->push_back(e.name());
-    return;
-  }
-  for (const Expr& o : e.operands()) collect_symbols(o, out);
+  if (memo != nullptr) memo->emplace(&e.node(), result);
+  return result;
 }
 
 }  // namespace
 
+Expr Expr::diff(SymId var) const {
+  if (node_->tree_size < kMemoThreshold) {
+    return diff_impl(*this, var, nullptr);
+  }
+  std::unordered_map<const Node*, Expr> memo;
+  return diff_impl(*this, var, &memo);
+}
+
+Expr Expr::diff(const std::string& var) const {
+  return diff(intern_symbol(var));
+}
+
 std::vector<std::string> Expr::symbols() const {
   std::vector<std::string> out;
-  collect_symbols(*this, &out);
+  out.reserve(node_->symbol_ids.size());
+  for (SymId id : node_->symbol_ids) out.push_back(symbol_name(id));
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
-bool Expr::contains(const std::string& var) const {
-  if (kind() == Kind::kSymbol) return name() == var;
-  for (const Expr& o : operands())
-    if (o.contains(var)) return true;
-  return false;
+bool Expr::contains(SymId var) const {
+  const Node& n = *node_;
+  if ((n.sym_mask & (1ULL << (var.value & 63u))) == 0) return false;
+  return std::binary_search(n.symbol_ids.begin(), n.symbol_ids.end(), var);
 }
 
-Expr expand(const Expr& e) {
+bool Expr::contains(const std::string& var) const {
+  return contains(intern_symbol(var));
+}
+
+namespace {
+
+/// Cross-multiplies an accumulated addend list with the addends of one more
+/// factor, term by term through make_mul.  Shared by the Mul and integer-Pow
+/// branches of expand(): distributing through operator* instead would
+/// re-canonicalize b*b into the very Pow being expanded and recurse forever,
+/// which is why both call sites must use this one helper.
+std::vector<Expr> distribute_terms(const std::vector<Expr>& acc,
+                                   const std::vector<Expr>& addends) {
+  std::vector<Expr> next;
+  next.reserve(acc.size() * addends.size());
+  for (const Expr& p : acc) {
+    for (const Expr& t : addends) next.push_back(make_mul({p, t}));
+  }
+  return next;
+}
+
+const std::vector<Expr>& addends_of(const Expr& e, std::vector<Expr>* single) {
+  if (e.kind() == Kind::kAdd) return e.operands();
+  *single = {e};
+  return *single;
+}
+
+Expr expand_impl(const Expr& e,
+                 std::unordered_map<const Node*, Expr>* memo) {
   switch (e.kind()) {
     case Kind::kConst:
     case Kind::kSymbol:
       return e;
+    default:
+      break;
+  }
+  if (memo != nullptr) {
+    auto it = memo->find(&e.node());
+    if (it != memo->end()) return it->second;
+  }
+  Expr result;
+  switch (e.kind()) {
     case Kind::kAdd: {
       std::vector<Expr> ts;
-      for (const Expr& t : e.operands()) ts.push_back(expand(t));
-      return make_add(std::move(ts));
+      for (const Expr& t : e.operands()) ts.push_back(expand_impl(t, memo));
+      result = make_add(std::move(ts));
+      break;
     }
     case Kind::kMul: {
       // Expand factors, then distribute over sums left to right.
       std::vector<Expr> partial = {Expr(1)};
       for (const Expr& f0 : e.operands()) {
-        Expr f = expand(f0);
-        std::vector<Expr> next;
-        const std::vector<Expr> addends =
-            f.kind() == Kind::kAdd ? f.operands() : std::vector<Expr>{f};
-        for (const Expr& p : partial)
-          for (const Expr& a : addends) next.push_back(make_mul({p, a}));
-        partial = std::move(next);
+        Expr f = expand_impl(f0, memo);
+        std::vector<Expr> single;
+        partial = distribute_terms(partial, addends_of(f, &single));
       }
-      return make_add(std::move(partial));
+      result = make_add(std::move(partial));
+      break;
     }
     case Kind::kPow: {
-      Expr b = expand(e.operands()[0]);
+      Expr b = expand_impl(e.operands()[0], memo);
       const Rational& ex = e.exponent();
       if (b.kind() == Kind::kAdd && ex.is_integer() && ex > Rational(1) &&
           ex <= Rational(8)) {
-        // Distribute manually: going through operator* would re-canonicalize
-        // b*b into this very Pow and recurse forever.
         const std::vector<Expr>& bt = b.operands();
         std::vector<Expr> acc = {Expr(1)};
         for (long long i = 0; i < ex.to_int(); ++i) {
-          std::vector<Expr> next;
-          next.reserve(acc.size() * bt.size());
-          for (const Expr& p : acc) {
-            for (const Expr& t : bt) next.push_back(make_mul({p, t}));
-          }
-          acc = std::move(next);
+          acc = distribute_terms(acc, bt);
         }
-        return make_add(std::move(acc));
+        result = make_add(std::move(acc));
+      } else {
+        result = pow(b, ex);
       }
-      return pow(b, ex);
+      break;
     }
     case Kind::kMin: {
       std::vector<Expr> as;
-      for (const Expr& a : e.operands()) as.push_back(expand(a));
-      return min(std::move(as));
+      for (const Expr& a : e.operands()) as.push_back(expand_impl(a, memo));
+      result = min(std::move(as));
+      break;
     }
     case Kind::kMax: {
       std::vector<Expr> as;
-      for (const Expr& a : e.operands()) as.push_back(expand(a));
-      return max(std::move(as));
+      for (const Expr& a : e.operands()) as.push_back(expand_impl(a, memo));
+      result = max(std::move(as));
+      break;
     }
+    default:
+      throw std::logic_error("expand: bad kind");
   }
-  throw std::logic_error("expand: bad kind");
+  if (memo != nullptr) memo->emplace(&e.node(), result);
+  return result;
+}
+
+}  // namespace
+
+Expr expand(const Expr& e) {
+  if (e.node().tree_size < kMemoThreshold) return expand_impl(e, nullptr);
+  std::unordered_map<const Node*, Expr> memo;
+  return expand_impl(e, &memo);
 }
 
 namespace {
@@ -628,28 +1074,53 @@ std::ostream& operator<<(std::ostream& os, const Expr& e) {
   return os << e.str();
 }
 
-bool numerically_equal(const Expr& a, const Expr& b, double tol) {
-  std::vector<std::string> syms = a.symbols();
-  for (const std::string& s : b.symbols()) syms.push_back(s);
-  std::sort(syms.begin(), syms.end());
-  syms.erase(std::unique(syms.begin(), syms.end()), syms.end());
-  // Deterministic quasi-random positive sample points.
-  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+bool numerically_equal(const Expr& a, const Expr& b,
+                       const NumericEqualityOptions& options) {
+  // Union of the two cached symbol sets, ordered by *name* so the sample
+  // assignments reproduce the historical string-based implementation bit for
+  // bit (and stay stable across runs regardless of intern order).
+  std::vector<SymId> ids = a.symbol_ids();
+  ids.insert(ids.end(), b.symbol_ids().begin(), b.symbol_ids().end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::vector<std::pair<std::string, SymId>> by_name;
+  by_name.reserve(ids.size());
+  for (SymId id : ids) by_name.emplace_back(symbol_name(id), id);
+  std::sort(by_name.begin(), by_name.end());
+  // Deterministic quasi-random positive sample points (xorshift64); a
+  // (seed, trials) pair pins the exact run for reproduction.
+  std::uint64_t state = options.seed;
   auto next = [&state]() {
     state ^= state << 13;
     state ^= state >> 7;
     state ^= state << 17;
     return 1.5 + static_cast<double>(state % 1000) / 37.0;
   };
-  for (int trial = 0; trial < 6; ++trial) {
-    std::map<std::string, double> env;
-    for (const std::string& s : syms) env[s] = next();
+  SymMap<double> env;
+  for (SymId id : ids) env.set(id, 0.0);
+  for (int trial = 0; trial < options.trials; ++trial) {
+    for (const auto& [name, id] : by_name) *env.find(id) = next();
     double va = a.eval(env);
     double vb = b.eval(env);
     double scale = std::max({1.0, std::fabs(va), std::fabs(vb)});
-    if (std::fabs(va - vb) > tol * scale) return false;
+    if (std::fabs(va - vb) > options.tol * scale) return false;
   }
   return true;
+}
+
+bool numerically_equal(const Expr& a, const Expr& b, double tol) {
+  NumericEqualityOptions options;
+  options.tol = tol;
+  return numerically_equal(a, b, options);
+}
+
+InternStats expr_intern_stats() {
+  ExprInternTable& t = expr_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  InternStats stats;
+  for (const auto& [hash, vec] : t.buckets) stats.live_nodes += vec.size();
+  stats.total_interned = t.next_id - 1;
+  return stats;
 }
 
 }  // namespace soap::sym

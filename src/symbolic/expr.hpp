@@ -1,5 +1,5 @@
 // A small computer-algebra system: immutable symbolic expressions with
-// canonical simplification.
+// canonical simplification and hash-consing.
 //
 // This replaces the MATLAB Symbolic Toolbox used by the paper.  The expression
 // language is exactly what SOAP analysis needs:
@@ -20,6 +20,20 @@
 //     happens at construction time, so two structurally equal results of
 //     different derivations compare equal (used heavily by the golden tests
 //     against Table 2).
+//   * Nodes are *hash-consed*: a global thread-safe intern table guarantees
+//     that structurally equal nodes are the same Node object.  operator== is
+//     therefore pointer identity, hash() is an O(1) cached value, and every
+//     node carries a cached set of the symbols occurring beneath it, so
+//     contains()/symbols() never walk the tree.  Symbol names live in the
+//     global soap::SymId interner (support/interner.hpp).
+//   * The recursive rewriters (subs, expand, diff, eval) memoize on node
+//     identity per top-level call; heavily shared (DAG-shaped) expressions
+//     are rewritten in time proportional to the number of *distinct* nodes.
+//   * Thread-safety contract: constructing, copying, comparing, and rewriting
+//     expressions is safe from multiple threads (the intern tables are
+//     mutex-guarded; nodes are immutable after interning).  Individual Expr
+//     values are not synchronized — don't mutate one Expr variable from two
+//     threads.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +44,9 @@
 #include <string>
 #include <vector>
 
+#include "support/interner.hpp"
 #include "support/rational.hpp"
+#include "support/sym_map.hpp"
 
 namespace soap::sym {
 
@@ -40,15 +56,27 @@ class Expr;
 struct Node;
 using NodePtr = std::shared_ptr<const Node>;
 
+namespace detail {
+class ExprFactory;  // expr.cpp-internal: wraps interned nodes into Exprs
+}
+
 struct Node {
   Kind kind;
   Rational value;               // kConst
-  std::string name;             // kSymbol
+  SymId sym;                    // kSymbol
+  const std::string* sym_name = nullptr;  // kSymbol: interned name storage
   std::vector<Expr> operands;   // kAdd / kMul / kMin / kMax; kPow: {base}
   Rational exponent;            // kPow
+  // Hash-consing metadata, filled exactly once when the node is interned.
+  std::size_t hash = 0;         // content hash (cached, O(1) to read)
+  std::uint64_t id = 0;         // global intern id (cheap total order)
+  std::uint64_t sym_mask = 0;   // bloom mask over symbol_ids
+  std::uint32_t tree_size = 1;  // saturating subtree node count (incl. repeats)
+  std::vector<SymId> symbol_ids;  // sorted distinct symbols in the subtree
 };
 
-/// Immutable symbolic expression (value semantics, structurally canonical).
+/// Immutable symbolic expression (value semantics, structurally canonical,
+/// hash-consed: equal canonical forms share one node).
 class Expr {
  public:
   /// Default-constructs the constant 0.
@@ -59,6 +87,7 @@ class Expr {
   Expr(const Rational& r);      // NOLINT(implicit)
 
   static Expr symbol(const std::string& name);
+  static Expr symbol(SymId id);
   static Expr constant(const Rational& r) { return Expr(r); }
 
   [[nodiscard]] Kind kind() const { return node_->kind; }
@@ -73,6 +102,8 @@ class Expr {
   [[nodiscard]] const Rational& value() const;
   /// Requires kind() == kSymbol.
   [[nodiscard]] const std::string& name() const;
+  /// Requires kind() == kSymbol.
+  [[nodiscard]] SymId sym_id() const;
   /// Operands of Add/Mul/Min/Max; {base} for Pow.
   [[nodiscard]] const std::vector<Expr>& operands() const {
     return node_->operands;
@@ -80,24 +111,47 @@ class Expr {
   /// Requires kind() == kPow.
   [[nodiscard]] const Rational& exponent() const { return node_->exponent; }
 
-  /// Total structural comparison (canonical order). Returns <0, 0, >0.
+  /// O(1): cached content hash of the canonical form.
+  [[nodiscard]] std::size_t hash() const { return node_->hash; }
+  /// O(1): global intern id.  A cheap total order (creation order) for
+  /// containers whose iteration order never reaches user-visible output;
+  /// rendering and canonical operand order use the structural compare().
+  [[nodiscard]] std::uint64_t id() const { return node_->id; }
+
+  /// Total structural comparison (canonical display order).
+  /// Returns <0, 0, >0; 0 iff same node (hash-consing).
   static int compare(const Expr& a, const Expr& b);
+  /// O(1): hash-consing makes structural equality pointer identity.
   friend bool operator==(const Expr& a, const Expr& b) {
-    return compare(a, b) == 0;
+    return a.node_ == b.node_;
   }
   friend bool operator!=(const Expr& a, const Expr& b) { return !(a == b); }
 
-  /// Numeric evaluation. Missing symbols throw std::out_of_range.
+  /// Numeric evaluation, memoized on shared subtrees.
+  /// Missing symbols throw std::out_of_range.
+  [[nodiscard]] double eval(const SymMap<double>& env) const;
   [[nodiscard]] double eval(const std::map<std::string, double>& env) const;
 
-  /// Substitute symbols by expressions (simultaneous).
+  /// Substitute symbols by expressions (simultaneous), memoized on shared
+  /// subtrees; subtrees not mentioning any bound symbol are returned as-is.
+  [[nodiscard]] Expr subs(const SymMap<Expr>& env) const;
   [[nodiscard]] Expr subs(const std::map<std::string, Expr>& env) const;
 
-  /// Derivative with respect to `var`. Min/Max throw std::domain_error.
+  /// Derivative with respect to `var`.  Min/Max subtrees containing `var`
+  /// throw std::domain_error; subtrees free of `var` (min/max included)
+  /// differentiate to 0 via the cached symbol sets.
+  [[nodiscard]] Expr diff(SymId var) const;
   [[nodiscard]] Expr diff(const std::string& var) const;
 
-  /// All symbol names appearing in the expression.
+  /// Sorted distinct SymIds occurring in the expression (cached per node;
+  /// O(1), sorted by SymId — *not* by name).
+  [[nodiscard]] const std::vector<SymId>& symbol_ids() const {
+    return node_->symbol_ids;
+  }
+  /// All symbol names appearing in the expression, sorted by name.
   [[nodiscard]] std::vector<std::string> symbols() const;
+  /// O(log #symbols) via the per-node symbol cache.
+  [[nodiscard]] bool contains(SymId var) const;
   [[nodiscard]] bool contains(const std::string& var) const;
 
   /// Human-readable rendering, e.g. "2*N^3/sqrt(S)".
@@ -111,6 +165,8 @@ class Expr {
   friend Expr pow(const Expr& base, const Rational& e);
   friend Expr min(std::vector<Expr> args);
   friend Expr max(std::vector<Expr> args);
+  friend std::pair<Rational, Expr> split_coefficient(const Expr& term);
+  friend class detail::ExprFactory;
   explicit Expr(NodePtr n) : node_(std::move(n)) {}
 
   NodePtr node_;
@@ -130,7 +186,7 @@ inline Expr cbrt(const Expr& e) { return pow(e, Rational(1, 3)); }
 Expr min(std::vector<Expr> args);
 Expr max(std::vector<Expr> args);
 
-/// Distribute products/integer powers over sums.
+/// Distribute products/integer powers over sums (memoized per call).
 Expr expand(const Expr& e);
 
 std::ostream& operator<<(std::ostream& os, const Expr& e);
@@ -139,9 +195,39 @@ std::ostream& operator<<(std::ostream& os, const Expr& e);
 /// E.g. 3*N^2*sqrt(S) -> (3, N^2*sqrt(S)); 5 -> (5, 1).
 std::pair<Rational, Expr> split_coefficient(const Expr& term);
 
-/// True if |a - b| evaluates to ~0 on several random positive assignments.
+/// Controls for the sampling-based semantic equality check.  The defaults
+/// reproduce the historical behavior bit for bit; raising `trials` or varying
+/// `seed` gives independent re-checks, and a failing fuzz/CI run can log the
+/// (seed, trials) pair to reproduce exactly.
+struct NumericEqualityOptions {
+  int trials = 6;
+  double tol = 1e-7;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;  // xorshift64 state seed
+};
+
+/// True if |a - b| evaluates to ~0 on deterministic quasi-random positive
+/// assignments (xorshift64 stream from options.seed; symbols are assigned in
+/// name order, so results are reproducible across runs and platforms).
 /// A pragmatic semantic-equality check used by tests (structural canonical
 /// equality already catches most cases).
+bool numerically_equal(const Expr& a, const Expr& b,
+                       const NumericEqualityOptions& options);
 bool numerically_equal(const Expr& a, const Expr& b, double tol = 1e-7);
 
+/// Diagnostics for the hash-consing intern table (tests, leak checks).
+struct InternStats {
+  std::size_t live_nodes = 0;   ///< nodes currently interned
+  std::uint64_t total_interned = 0;  ///< ids handed out since process start
+};
+InternStats expr_intern_stats();
+
 }  // namespace soap::sym
+
+/// Hash support so analysis layers can key unordered containers by Expr
+/// (O(1): reads the cached node hash).
+template <>
+struct std::hash<soap::sym::Expr> {
+  std::size_t operator()(const soap::sym::Expr& e) const noexcept {
+    return e.hash();
+  }
+};

@@ -18,7 +18,7 @@ Rational binomial(int n, int k) {
 
 }  // namespace
 
-Polynomial power_sum(int k, const std::string& n) {
+Polynomial power_sum(int k, SymId n) {
   if (k < 0) throw std::invalid_argument("power_sum: negative exponent");
   // Recurrence from telescoping (n+1)^{k+1} - 1 = sum_{j<=k} C(k+1,j) S_j(n):
   //   S_k(n) = [ (n+1)^{k+1} - 1 - sum_{j<k} C(k+1,j) S_j(n) ] / (k+1).
@@ -38,20 +38,31 @@ Polynomial power_sum(int k, const std::string& n) {
   return s[static_cast<std::size_t>(k)];
 }
 
-Polynomial sum_over(const Polynomial& p, const std::string& var,
-                    const Polynomial& lo, const Polynomial& hi) {
-  const std::string aux = "__faulhaber_n";
+Polynomial power_sum(int k, const std::string& n) {
+  return power_sum(k, intern_symbol(n));
+}
+
+Polynomial sum_over(const Polynomial& p, SymId var, const Polynomial& lo,
+                    const Polynomial& hi) {
+  static const SymId aux = intern_symbol("__faulhaber_n");
   std::vector<Polynomial> coeffs = p.coefficients_of(var);
   Polynomial lo_minus_1 = lo - Polynomial(1);
   Polynomial out;
   for (std::size_t k = 0; k < coeffs.size(); ++k) {
     if (coeffs[k].is_zero()) continue;
     Polynomial sk = power_sum(static_cast<int>(k), aux);
-    Polynomial at_hi = sk.subs({{aux, hi}});
-    Polynomial at_lo = sk.subs({{aux, lo_minus_1}});
+    SymMap<Polynomial> at_hi_env{{aux, hi}};
+    SymMap<Polynomial> at_lo_env{{aux, lo_minus_1}};
+    Polynomial at_hi = sk.subs(at_hi_env);
+    Polynomial at_lo = sk.subs(at_lo_env);
     out += coeffs[k] * (at_hi - at_lo);
   }
   return out;
+}
+
+Polynomial sum_over(const Polynomial& p, const std::string& var,
+                    const Polynomial& lo, const Polynomial& hi) {
+  return sum_over(p, intern_symbol(var), lo, hi);
 }
 
 }  // namespace soap::sym

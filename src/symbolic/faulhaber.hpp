@@ -5,18 +5,22 @@
 
 #include <string>
 
+#include "support/interner.hpp"
 #include "symbolic/polynomial.hpp"
 
 namespace soap::sym {
 
 /// power_sum(k): S_k(n) = sum_{i=1}^{n} i^k as a univariate polynomial in the
-/// variable named `n`.  Exact (Bernoulli-free recurrence).
+/// variable `n`.  Exact (Bernoulli-free recurrence).
+Polynomial power_sum(int k, SymId n);
 Polynomial power_sum(int k, const std::string& n);
 
 /// sum_{var = lo}^{hi} p(var, ...) as a polynomial in the remaining variables
 /// (and whatever appears in lo/hi).  The identity used is
 /// sum_{v=lo}^{hi} v^k = S_k(hi) - S_k(lo - 1); the result is exact whenever
 /// hi >= lo - 1 pointwise (the usual non-empty-or-empty loop convention).
+Polynomial sum_over(const Polynomial& p, SymId var, const Polynomial& lo,
+                    const Polynomial& hi);
 Polynomial sum_over(const Polynomial& p, const std::string& var,
                     const Polynomial& lo, const Polynomial& hi);
 

@@ -5,19 +5,19 @@
 
 namespace soap::sym {
 
-Rational term_degree(const Expr& term, const std::vector<std::string>& syms) {
-  auto in = [&syms](const std::string& s) {
-    return std::find(syms.begin(), syms.end(), s) != syms.end();
-  };
+Rational term_degree(const Expr& term, const SymIdSet& syms) {
+  // Per-node symbol caches: a subtree whose symbol set misses `syms`
+  // entirely has degree 0 without any walk.
+  if ((term.node().sym_mask & syms.mask()) == 0) return Rational(0);
   switch (term.kind()) {
     case Kind::kConst:
       return Rational(0);
     case Kind::kSymbol:
-      return in(term.name()) ? Rational(1) : Rational(0);
+      return syms.contains(term.sym_id()) ? Rational(1) : Rational(0);
     case Kind::kPow: {
       const Expr& base = term.operands()[0];
       if (base.kind() == Kind::kSymbol) {
-        return in(base.name()) ? term.exponent() : Rational(0);
+        return syms.contains(base.sym_id()) ? term.exponent() : Rational(0);
       }
       // Degree of a power of a compound base: degree of the base times the
       // exponent (valid for the product-of-powers terms we produce).
@@ -28,12 +28,7 @@ Rational term_degree(const Expr& term, const std::vector<std::string>& syms) {
       for (const Expr& f : term.operands()) d += term_degree(f, syms);
       return d;
     }
-    case Kind::kAdd: {
-      Rational d = term_degree(term.operands()[0], syms);
-      for (const Expr& t : term.operands())
-        d = std::max(d, term_degree(t, syms));
-      return d;
-    }
+    case Kind::kAdd:
     case Kind::kMin:
     case Kind::kMax: {
       Rational d = term_degree(term.operands()[0], syms);
@@ -45,7 +40,14 @@ Rational term_degree(const Expr& term, const std::vector<std::string>& syms) {
   throw std::logic_error("term_degree: bad kind");
 }
 
-Expr leading_term(const Expr& e, const std::vector<std::string>& syms) {
+Rational term_degree(const Expr& term, const std::vector<std::string>& syms) {
+  std::vector<SymId> ids;
+  ids.reserve(syms.size());
+  for (const std::string& s : syms) ids.push_back(intern_symbol(s));
+  return term_degree(term, SymIdSet::from_unsorted(std::move(ids)));
+}
+
+Expr leading_term(const Expr& e, const SymIdSet& syms) {
   Expr x = expand(e);
   if (x.kind() != Kind::kAdd) return x;
   Rational best(-1000000);
@@ -59,14 +61,27 @@ Expr leading_term(const Expr& e, const std::vector<std::string>& syms) {
   return out;
 }
 
+Expr leading_term(const Expr& e, const std::vector<std::string>& syms) {
+  std::vector<SymId> ids;
+  ids.reserve(syms.size());
+  for (const std::string& s : syms) ids.push_back(intern_symbol(s));
+  return leading_term(e, SymIdSet::from_unsorted(std::move(ids)));
+}
+
+Expr leading_term_except(const Expr& e, const SymIdSet& small) {
+  std::vector<SymId> ids;
+  for (SymId id : e.symbol_ids()) {
+    if (!small.contains(id)) ids.push_back(id);
+  }
+  return leading_term(e, SymIdSet(std::move(ids)));  // already sorted
+}
+
 Expr leading_term_except(const Expr& e,
                          const std::vector<std::string>& small) {
-  std::vector<std::string> syms;
-  for (const std::string& s : e.symbols()) {
-    if (std::find(small.begin(), small.end(), s) == small.end())
-      syms.push_back(s);
-  }
-  return leading_term(e, syms);
+  std::vector<SymId> ids;
+  ids.reserve(small.size());
+  for (const std::string& s : small) ids.push_back(intern_symbol(s));
+  return leading_term_except(e, SymIdSet::from_unsorted(std::move(ids)));
 }
 
 }  // namespace soap::sym

@@ -36,10 +36,14 @@ Polynomial::Polynomial(const Rational& c) {
   if (!c.is_zero()) terms_[{}] = c;
 }
 
-Polynomial Polynomial::variable(const std::string& name) {
+Polynomial Polynomial::variable(SymId id) {
   Polynomial p;
-  p.terms_[{{name, 1}}] = Rational(1);
+  p.terms_[{{id, 1}}] = Rational(1);
   return p;
+}
+
+Polynomial Polynomial::variable(const std::string& name) {
+  return variable(intern_symbol(name));
 }
 
 bool Polynomial::is_constant() const {
@@ -86,7 +90,7 @@ Polynomial operator*(const Polynomial& a, const Polynomial& b) {
   return out;
 }
 
-int Polynomial::degree(const std::string& var) const {
+int Polynomial::degree(SymId var) const {
   int d = 0;
   for (const auto& [m, _] : terms_) {
     for (const auto& [v, e] : m) {
@@ -96,6 +100,10 @@ int Polynomial::degree(const std::string& var) const {
   return d;
 }
 
+int Polynomial::degree(const std::string& var) const {
+  return degree(intern_symbol(var));
+}
+
 int Polynomial::total_degree() const {
   if (terms_.empty()) return -1;
   int d = 0;
@@ -103,14 +111,13 @@ int Polynomial::total_degree() const {
   return d;
 }
 
-Polynomial Polynomial::subs(
-    const std::map<std::string, Polynomial>& env) const {
+Polynomial Polynomial::subs(const SymMap<Polynomial>& env) const {
   Polynomial out;
   for (const auto& [m, c] : terms_) {
     Polynomial term(c);
     for (const auto& [v, e] : m) {
-      auto it = env.find(v);
-      Polynomial base = (it != env.end()) ? it->second : variable(v);
+      const Polynomial* bound = env.find(v);
+      Polynomial base = bound != nullptr ? *bound : variable(v);
       for (int i = 0; i < e; ++i) term *= base;
     }
     out += term;
@@ -118,8 +125,14 @@ Polynomial Polynomial::subs(
   return out;
 }
 
-std::vector<Polynomial> Polynomial::coefficients_of(
-    const std::string& var) const {
+Polynomial Polynomial::subs(
+    const std::map<std::string, Polynomial>& env) const {
+  SymMap<Polynomial> ids;
+  for (const auto& [name, p] : env) ids.set(intern_symbol(name), p);
+  return subs(ids);
+}
+
+std::vector<Polynomial> Polynomial::coefficients_of(SymId var) const {
   std::vector<Polynomial> out(static_cast<std::size_t>(degree(var)) + 1);
   for (const auto& [m, c] : terms_) {
     int k = 0;
@@ -136,6 +149,11 @@ std::vector<Polynomial> Polynomial::coefficients_of(
     out[static_cast<std::size_t>(k)] += piece;
   }
   return out;
+}
+
+std::vector<Polynomial> Polynomial::coefficients_of(
+    const std::string& var) const {
+  return coefficients_of(intern_symbol(var));
 }
 
 Polynomial Polynomial::leading_terms() const {
@@ -164,6 +182,9 @@ Expr Polynomial::to_expr() const {
 }
 
 double Polynomial::eval(const std::map<std::string, double>& env) const {
+  // Via the canonical Expr, like the pre-SymId implementation: keeps the
+  // floating-point evaluation order (and thus rounding) bit-identical for
+  // the string-based callers, which the golden tests pin with DOUBLE_EQ.
   return to_expr().eval(env);
 }
 

@@ -5,19 +5,25 @@
 // induces |D| = sum over the nest of 1, which is a polynomial in the program
 // parameters.  Summation over one variable with polynomial bounds is done via
 // Faulhaber's formula (src/symbolic/faulhaber.*).
+//
+// Variables are interned SymIds (support/interner.hpp): monomial comparison
+// is integer-lexicographic, and the string-based API is a thin convenience
+// layer over the SymId core.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "support/interner.hpp"
 #include "support/rational.hpp"
+#include "support/sym_map.hpp"
 #include "symbolic/expr.hpp"
 
 namespace soap::sym {
 
 /// A monomial: sorted (variable, positive exponent) pairs. Empty == 1.
-using Monomial = std::vector<std::pair<std::string, int>>;
+using Monomial = std::vector<std::pair<SymId, int>>;
 
 /// Multivariate polynomial over Q.
 class Polynomial {
@@ -25,6 +31,7 @@ class Polynomial {
   Polynomial() = default;
   Polynomial(const Rational& c);  // NOLINT(implicit)
   Polynomial(long long c) : Polynomial(Rational(c)) {}  // NOLINT(implicit)
+  static Polynomial variable(SymId id);
   static Polynomial variable(const std::string& name);
 
   [[nodiscard]] bool is_zero() const { return terms_.empty(); }
@@ -44,16 +51,19 @@ class Polynomial {
   }
 
   /// Degree in a single variable.
+  [[nodiscard]] int degree(SymId var) const;
   [[nodiscard]] int degree(const std::string& var) const;
   /// Total degree across all variables (0 for constants; -1 for zero).
   [[nodiscard]] int total_degree() const;
 
   /// Simultaneous substitution of variables by polynomials.
+  [[nodiscard]] Polynomial subs(const SymMap<Polynomial>& env) const;
   [[nodiscard]] Polynomial subs(
       const std::map<std::string, Polynomial>& env) const;
 
   /// Coefficients of powers of `var`: result[k] is the coefficient polynomial
   /// of var^k (in the remaining variables). result.size() == degree(var)+1.
+  [[nodiscard]] std::vector<Polynomial> coefficients_of(SymId var) const;
   [[nodiscard]] std::vector<Polynomial> coefficients_of(
       const std::string& var) const;
 
