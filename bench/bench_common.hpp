@@ -3,9 +3,11 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_flags.hpp"
 #include "kernels/table2.hpp"
+#include "support/parallel.hpp"
 
 namespace soap::bench {
 
@@ -17,8 +19,7 @@ inline void print_header(const char* title) {
   std::printf("%s\n", std::string(150, '-').c_str());
 }
 
-inline void print_row(const kernels::KernelEntry& k) {
-  sym::Expr ours = kernels::analyze_kernel(k);
+inline void print_row(const kernels::KernelEntry& k, const sym::Expr& ours) {
   bool match = sym::numerically_equal(ours, k.paper_bound);
   std::printf("%-22s | %-38s | %-38s | %-34s | %s%s\n", k.name.c_str(),
               ours.str().c_str(), k.paper_bound.str().c_str(), k.sota.c_str(),
@@ -28,17 +29,26 @@ inline void print_row(const kernels::KernelEntry& k) {
   }
 }
 
+/// Analyzes one Table 2 category, sharded kernel-by-kernel across the shared
+/// pool (`threads` executors; default 1 = serial).  The bounds land in
+/// per-kernel slots and the table is printed afterwards in corpus order, so
+/// the output is byte-identical for every thread count.
 inline int run_category(const char* title, const std::string& category,
-                        int max_rows = -1) {
+                        int max_rows = -1, std::size_t threads = 1) {
   print_header(title);
-  int rows = 0;
+  std::vector<const kernels::KernelEntry*> rows;
   for (const auto& k : kernels::table2_kernels()) {
     if (k.category != category) continue;
-    if (max_rows >= 0 && rows >= max_rows) break;
-    print_row(k);
-    ++rows;
+    if (max_rows >= 0 && static_cast<int>(rows.size()) >= max_rows) break;
+    rows.push_back(&k);
   }
-  std::printf("%d applications analyzed.\n", rows);
+  support::ParallelOptions par;
+  par.threads = threads;
+  std::vector<sym::Expr> bounds = support::parallel_map<sym::Expr>(
+      rows.size(), par,
+      [&rows](std::size_t i) { return kernels::analyze_kernel(*rows[i]); });
+  for (std::size_t i = 0; i < rows.size(); ++i) print_row(*rows[i], bounds[i]);
+  std::printf("%zu applications analyzed.\n", rows.size());
   return 0;
 }
 

@@ -1,8 +1,13 @@
-// Flag handling shared by every bench binary, kept free of library
-// dependencies so benches that don't link soap::kernels can use it too.
+// Flag handling shared by every bench binary.  Depends only on the
+// header-only helpers in support/ (whose include path every bench target
+// inherits via soap::build_flags), so benches that don't link
+// soap::kernels can use it too.
 #pragma once
 
+#include <cstddef>
 #include <string>
+
+#include "support/parse.hpp"
 
 namespace soap::bench {
 
@@ -13,6 +18,23 @@ inline bool smoke_requested(int argc, char** argv) {
     if (std::string(argv[i]) == "--smoke") return true;
   }
   return false;
+}
+
+/// Worker budget from `--threads N` / `--threads=N` (SdgOptions::threads
+/// semantics: 1 = serial, 0 = all hardware threads).  `fallback` when the
+/// flag is absent or malformed, so bench drivers stay deterministic and
+/// single-threaded by default.
+inline std::size_t threads_requested(int argc, char** argv,
+                                     std::size_t fallback = 1) {
+  auto parse = [fallback](const std::string& value) {
+    return support::parse_size_t(value).value_or(fallback);
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) return parse(arg.substr(10));
+    if (arg == "--threads" && i + 1 < argc) return parse(argv[i + 1]);
+  }
+  return fallback;
 }
 
 }  // namespace soap::bench

@@ -1,9 +1,11 @@
 // Experiment V-scale: analysis cost vs program size (the paper reports its
-// approach scales to ~35 statements).  google-benchmark over synthetic
-// statement chains.
+// approach scales to ~35 statements), plus the thread sweep of the sharded
+// SDG pipeline.  google-benchmark over synthetic statement chains and the
+// Table 2 corpus batch.
 #include <benchmark/benchmark.h>
 
 #include "frontend/lower.hpp"
+#include "kernels/table2.hpp"
 #include "sdg/multi_statement.hpp"
 #include "sdg/subgraph.hpp"
 
@@ -33,6 +35,24 @@ void BM_SdgAnalysisChain(benchmark::State& state) {
 }
 BENCHMARK(BM_SdgAnalysisChain)->Arg(5)->Arg(10)->Arg(20)->Arg(35);
 
+// The thread sweep of the same end-to-end path: per-subgraph work sharded
+// across SdgOptions::threads workers, output bit-identical at every count.
+void BM_SdgAnalysisChainThreads(benchmark::State& state) {
+  soap::Program p = chain_program(static_cast<int>(state.range(0)));
+  soap::sdg::SdgOptions opt;
+  opt.max_subgraph_size = 3;
+  opt.threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    auto b = soap::sdg::multi_statement_bound(p, opt);
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["statements"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SdgAnalysisChainThreads)
+    ->Name("BM_SdgAnalysisChain")
+    ->ArgNames({"", "threads"})
+    ->ArgsProduct({{35}, {1, 2, 4, 8}});
+
 void BM_SubgraphEnumeration(benchmark::State& state) {
   soap::Program p = chain_program(static_cast<int>(state.range(0)));
   soap::sdg::Sdg g = soap::sdg::Sdg::build(p);
@@ -45,6 +65,26 @@ void BM_SubgraphEnumeration(benchmark::State& state) {
   state.counters["subgraphs"] = static_cast<double>(count);
 }
 BENCHMARK(BM_SubgraphEnumeration)->Arg(10)->Arg(20)->Arg(35);
+
+// The 38-application corpus analyzed as one batch, sharded kernel-by-kernel
+// across the pool (each kernel's own analysis serial) — the deployment shape
+// of the Table 2 drivers.
+void BM_Table2CorpusBatch(benchmark::State& state) {
+  const auto& kernels = soap::kernels::table2_kernels();
+  for (auto _ : state) {
+    auto bounds = soap::kernels::analyze_corpus(
+        static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(bounds);
+  }
+  state.counters["kernels"] = static_cast<double>(kernels.size());
+}
+BENCHMARK(BM_Table2CorpusBatch)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -42,7 +42,8 @@ for b in range(B):
 int main(int argc, char** argv) {
   bool smoke = soap::bench::smoke_requested(argc, argv);
   int r = soap::bench::run_category(
-      "Table 2 / Neural networks: I/O lower bounds", "neural", smoke ? 1 : -1);
+      "Table 2 / Neural networks: I/O lower bounds", "neural", smoke ? 1 : -1,
+      soap::bench::threads_requested(argc, argv));
   if (!smoke) conv_conditional_intensities();
   return r;
 }

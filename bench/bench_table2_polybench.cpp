@@ -4,5 +4,6 @@
 int main(int argc, char** argv) {
   return soap::bench::run_category(
       "Table 2 / Polybench: I/O lower bounds (leading-order terms)",
-      "polybench", soap::bench::smoke_requested(argc, argv) ? 1 : -1);
+      "polybench", soap::bench::smoke_requested(argc, argv) ? 1 : -1,
+      soap::bench::threads_requested(argc, argv));
 }

@@ -4,5 +4,6 @@
 int main(int argc, char** argv) {
   return soap::bench::run_category(
       "Table 2 / Various: first I/O lower bounds beyond the polyhedral model",
-      "various", soap::bench::smoke_requested(argc, argv) ? 1 : -1);
+      "various", soap::bench::smoke_requested(argc, argv) ? 1 : -1,
+      soap::bench::threads_requested(argc, argv));
 }

@@ -1,11 +1,16 @@
 // The open-source tool of the paper's abstract: derives I/O lower bounds
 // directly from provided C (or Python-style) code.
 //
-//   soap_analyze [file]          # reads the program from a file or stdin
-//   soap_analyze --sdg [file]    # also dump the SDG in Graphviz format
+//   soap_analyze [file]            # reads the program from a file or stdin
+//   soap_analyze --sdg [file]      # also dump the SDG in Graphviz format
+//   soap_analyze --threads N ...   # shard the subgraph analysis across N
+//                                  # workers (0 = all hardware threads);
+//                                  # the derived bound is identical for
+//                                  # every thread count
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -13,18 +18,40 @@
 #include "sdg/multi_statement.hpp"
 #include "sdg/sdg.hpp"
 #include "soap/program.hpp"
+#include "support/parse.hpp"
 
 int main(int argc, char** argv) {
   using namespace soap;
   bool dump_sdg = false;
   std::string path;
+  sdg::SdgOptions options;
+  // Strict parse (support::parse_size_t): a typo must not dial the tool up
+  // to hardware_concurrency, so unlike the bench drivers' silent serial
+  // fallback, a bad value here is a hard error.
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    std::string value;
     if (arg == "--sdg") {
       dump_sdg = true;
+      continue;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads requires a value\n");
+        return 1;
+      }
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(10);
     } else {
       path = arg;
+      continue;
     }
+    std::optional<std::size_t> threads = support::parse_size_t(value);
+    if (!threads) {
+      std::fprintf(stderr, "invalid --threads value '%s'\n", value.c_str());
+      return 1;
+    }
+    options.threads = *threads;
   }
   std::string source;
   if (path.empty()) {
@@ -52,7 +79,7 @@ int main(int argc, char** argv) {
     if (dump_sdg) {
       std::printf("\n%s\n", sdg::Sdg::build(program).dot().c_str());
     }
-    auto bound = sdg::multi_statement_bound(program);
+    auto bound = sdg::multi_statement_bound(program, options);
     if (!bound) {
       std::puts("no non-trivial bound (unbounded reuse)");
       return 0;

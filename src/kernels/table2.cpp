@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "support/parallel.hpp"
+
 namespace soap::kernels {
 
 const std::vector<KernelEntry>& table2_kernels() {
@@ -15,12 +17,27 @@ const std::vector<KernelEntry>& table2_kernels() {
 }
 
 sym::Expr analyze_kernel(const KernelEntry& entry) {
+  return analyze_kernel(entry, entry.options.threads);
+}
+
+sym::Expr analyze_kernel(const KernelEntry& entry, std::size_t threads) {
   Program program = entry.build();
-  auto bound = sdg::multi_statement_bound(program, entry.options);
+  sdg::SdgOptions options = entry.options;
+  options.threads = threads;
+  auto bound = sdg::multi_statement_bound(program, options);
   if (!bound) {
     throw std::runtime_error("analyze_kernel: no bound for " + entry.name);
   }
   return bound->Q_leading;
+}
+
+std::vector<sym::Expr> analyze_corpus(std::size_t threads) {
+  const std::vector<KernelEntry>& kernels = table2_kernels();
+  support::ParallelOptions par;
+  par.threads = threads;
+  return support::parallel_map<sym::Expr>(
+      kernels.size(), par,
+      [&kernels](std::size_t i) { return analyze_kernel(kernels[i]); });
 }
 
 const KernelEntry& kernel_by_name(const std::string& name) {

@@ -45,6 +45,17 @@ const std::vector<KernelEntry>& table2_kernels();
 /// bound.
 sym::Expr analyze_kernel(const KernelEntry& entry);
 
+/// Same, with the entry's configured thread budget overridden (see
+/// SdgOptions::threads: 1 = serial, 0 = all hardware threads).
+sym::Expr analyze_kernel(const KernelEntry& entry, std::size_t threads);
+
+/// Analyzes the whole 38-application corpus, sharded kernel-by-kernel
+/// across the shared thread pool (`threads` executors, counting the
+/// caller; each kernel's own analysis stays serial).  Slot i holds the
+/// bound of table2_kernels()[i]; the result is identical for every thread
+/// count.
+std::vector<sym::Expr> analyze_corpus(std::size_t threads = 1);
+
 /// Lookup by name; throws std::out_of_range when missing.
 const KernelEntry& kernel_by_name(const std::string& name);
 

@@ -1,11 +1,14 @@
 #include "sdg/multi_statement.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "bounds/intensity.hpp"
 #include "sdg/subgraph.hpp"
+#include "support/parallel.hpp"
 #include "support/sym_map.hpp"
 #include "symbolic/leading.hpp"
 
@@ -15,17 +18,56 @@ namespace {
 
 constexpr double kReferenceS = 1 << 20;
 
+SymId s_symbol() {
+  static const SymId id = intern_symbol("S");
+  return id;
+}
+
 const SymIdSet& s_only() {
-  static const SymIdSet set = SymIdSet::from_unsorted({intern_symbol("S")});
+  static const SymIdSet set = SymIdSet::from_unsorted({s_symbol()});
   return set;
 }
 
+// Evaluates `e` with every size symbol at `size_value` and S at `s_value`.
+// The env is a per-thread template reused across calls (cleared, not
+// reallocated) and the "S" id is interned once, so per-subgraph evaluation
+// does no string interning and no steady-state allocation.
 double eval_all(const sym::Expr& e, double size_value, double s_value) {
-  SymMap<double> env;
+  thread_local SymMap<double> env;
+  env.clear();
   for (SymId v : e.symbol_ids()) env.set(v, size_value);
-  env.set(intern_symbol("S"), s_value);
+  env.set(s_symbol(), s_value);
   return e.eval(env);
 }
+
+// Distinct subgraphs frequently derive the *same* intensity expression
+// (hash-consing makes them the same node); cache the reference evaluation
+// by expression identity.  Shared across workers: the value is a pure
+// function of the expression, so whichever worker computes or reuses it the
+// number is the same and the cache cannot introduce schedule dependence.
+class RhoValueCache {
+ public:
+  double value(const sym::Expr& rho) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = values_.find(rho);
+      if (it != values_.end()) return it->second;
+    }
+    double v = eval_all(rho, 1.0, kReferenceS);
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_.try_emplace(rho, v).first->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<sym::Expr, double> values_;
+};
+
+struct Evaluated {
+  std::vector<std::string> arrays;
+  sym::Expr rho;
+  double rho_value = 0.0;
+};
 
 }  // namespace
 
@@ -34,43 +76,55 @@ std::optional<MultiStatementBound> multi_statement_bound(
   if (program.statements.empty()) return std::nullopt;
   Sdg sdg = Sdg::build(program);
 
-  struct Evaluated {
-    std::vector<std::string> arrays;
-    sym::Expr rho;
-    double rho_value;
-  };
+  // The per-subgraph chain merge_subgraph -> derive_chi -> minimize_intensity
+  // -> eval is independent per subgraph; shard each enumeration level across
+  // the pool.  Results land in per-index slots and are appended in
+  // enumeration order, so `evaluated` — and every reduction below — is
+  // identical for any thread count.
   std::vector<Evaluated> evaluated;
-  auto subgraphs = enumerate_subgraphs(sdg, options.max_subgraph_size);
-  // Distinct subgraphs frequently derive the *same* intensity expression
-  // (hash-consing makes them the same node); cache the reference evaluation
-  // by expression identity.
-  std::unordered_map<sym::Expr, double> rho_value_cache;
-  for (const auto& H : subgraphs) {
-    MergedSubgraph merged = merge_subgraph(sdg, H);
-    auto chi = bounds::derive_chi(merged.problem);
-    if (!chi) continue;  // unbounded intensity: no constraint from this H
-    bounds::IntensityResult in = bounds::minimize_intensity(*chi);
-    auto [it, inserted] = rho_value_cache.try_emplace(in.rho, 0.0);
-    if (inserted) it->second = eval_all(in.rho, 1.0, kReferenceS);
-    double value = it->second;
-    if (!std::isfinite(value) || value <= 0) continue;
-    evaluated.push_back({H, in.rho, value});
-  }
+  RhoValueCache rho_cache;
+  support::ParallelOptions par;
+  par.threads = options.threads;
+  for_each_subgraph_level(
+      sdg, options.max_subgraph_size, options.max_subgraphs,
+      [&](std::vector<std::vector<std::string>>& level) {
+        auto slots = support::parallel_map<std::optional<Evaluated>>(
+            level.size(), par,
+            [&](std::size_t i) -> std::optional<Evaluated> {
+              MergedSubgraph merged = merge_subgraph(sdg, level[i]);
+              auto chi = bounds::derive_chi(merged.problem);
+              // Unbounded intensity: no constraint from this subgraph.
+              if (!chi) return std::nullopt;
+              bounds::IntensityResult in = bounds::minimize_intensity(*chi);
+              double value = rho_cache.value(in.rho);
+              if (!std::isfinite(value) || value <= 0) return std::nullopt;
+              return Evaluated{std::move(level[i]), in.rho, value};
+            });
+        for (std::optional<Evaluated>& slot : slots) {
+          if (slot) evaluated.push_back(std::move(*slot));
+        }
+      });
 
   MultiStatementBound out;
   out.subgraphs_evaluated = evaluated.size();
 
+  // One pass over `evaluated` builds the array -> best-candidate index;
+  // ties keep the earliest-enumerated subgraph, matching the order the
+  // quadratic per-array scan used to visit them in.
+  std::unordered_map<std::string, const Evaluated*> best_for;
+  best_for.reserve(2 * evaluated.size());
+  for (const Evaluated& e : evaluated) {
+    for (const std::string& array : e.arrays) {
+      auto [it, inserted] = best_for.try_emplace(array, &e);
+      if (!inserted && e.rho_value > it->second->rho_value) it->second = &e;
+    }
+  }
+
   // Theorem 1 sum over computed arrays.
   sym::Expr q_sdg(0);
   for (const std::string& array : sdg.computed_arrays()) {
-    const Evaluated* best = nullptr;
-    for (const Evaluated& e : evaluated) {
-      if (std::find(e.arrays.begin(), e.arrays.end(), array) ==
-          e.arrays.end()) {
-        continue;
-      }
-      if (best == nullptr || e.rho_value > best->rho_value) best = &e;
-    }
+    auto it = best_for.find(array);
+    const Evaluated* best = it == best_for.end() ? nullptr : it->second;
     ArrayBound ab;
     ab.array = array;
     ab.cdag_size =

@@ -1,14 +1,36 @@
 #include "sdg/subgraph.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
+#include <unordered_set>
+#include <utility>
 
 namespace soap::sdg {
 
-std::vector<std::vector<std::string>> enumerate_subgraphs(
-    const Sdg& sdg, std::size_t max_size, std::size_t max_count) {
+namespace {
+
+/// Hash of a sorted index subset (boost::hash_combine-style mixing).  Keys
+/// the per-level dedup set; cheaper than the lexicographic compares of the
+/// ordered std::set<std::vector<...>> it replaced.
+struct SubsetHash {
+  std::size_t operator()(const std::vector<std::size_t>& subset) const {
+    std::size_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t v : subset) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+void for_each_subgraph_level(const Sdg& sdg, std::size_t max_size,
+                             std::size_t max_count,
+                             const SubgraphLevelSink& sink) {
   const std::vector<std::string>& computed = sdg.computed_arrays();
   const std::size_t n = computed.size();
+  if (n == 0 || max_size == 0 || max_count == 0) return;
   // Adjacency among computed arrays.
   std::vector<std::vector<std::size_t>> adj(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -19,27 +41,36 @@ std::vector<std::vector<std::string>> enumerate_subgraphs(
       }
     }
   }
-  // BFS over connected subsets: grow each subset by a neighbour with an index
-  // larger than the subset's minimum to avoid duplicates, dedup via a set.
-  std::set<std::vector<std::size_t>> seen;
-  std::vector<std::vector<std::size_t>> frontier;
-  for (std::size_t i = 0; i < n; ++i) {
-    frontier.push_back({i});
-    seen.insert({i});
-  }
-  std::vector<std::vector<std::string>> out;
+
+  std::size_t emitted = 0;
+  std::vector<std::vector<std::string>> level;
   auto emit = [&](const std::vector<std::size_t>& subset) {
     std::vector<std::string> names;
     names.reserve(subset.size());
     for (std::size_t i : subset) names.push_back(computed[i]);
-    out.push_back(std::move(names));
+    level.push_back(std::move(names));
+    ++emitted;
   };
-  for (const auto& s : frontier) emit(s);
-  while (!frontier.empty() && out.size() < max_count) {
+
+  // Level 1: singletons.
+  std::vector<std::vector<std::size_t>> frontier;
+  frontier.reserve(n);
+  for (std::size_t i = 0; i < n && emitted < max_count; ++i) {
+    frontier.push_back({i});
+    emit(frontier.back());
+  }
+  if (!level.empty()) sink(level);
+  level.clear();
+
+  // Level k+1: grow every level-k subset by one adjacent vertex.  A size-k
+  // subset can only be produced while generating level k, so deduplication
+  // needs just the current level's set (cleared between levels).
+  std::size_t size = 1;
+  while (!frontier.empty() && emitted < max_count && size < max_size) {
     std::vector<std::vector<std::size_t>> next;
+    std::unordered_set<std::vector<std::size_t>, SubsetHash> seen;
     for (const auto& subset : frontier) {
-      if (subset.size() >= max_size) continue;
-      // Candidate extensions: neighbours of any member.
+      // Candidate extensions: neighbours of any member, in ascending order.
       std::set<std::size_t> cand;
       for (std::size_t v : subset) {
         for (std::size_t w : adj[v]) cand.insert(w);
@@ -51,12 +82,27 @@ std::vector<std::vector<std::string>> enumerate_subgraphs(
         if (!seen.insert(grown).second) continue;
         emit(grown);
         next.push_back(std::move(grown));
-        if (out.size() >= max_count) break;
+        if (emitted >= max_count) break;
       }
-      if (out.size() >= max_count) break;
+      if (emitted >= max_count) break;
     }
     frontier = std::move(next);
+    ++size;
+    if (!level.empty()) sink(level);
+    level.clear();
   }
+}
+
+std::vector<std::vector<std::string>> enumerate_subgraphs(
+    const Sdg& sdg, std::size_t max_size, std::size_t max_count) {
+  std::vector<std::vector<std::string>> out;
+  for_each_subgraph_level(
+      sdg, max_size, max_count,
+      [&out](std::vector<std::vector<std::string>>& level) {
+        for (std::vector<std::string>& names : level) {
+          out.push_back(std::move(names));
+        }
+      });
   return out;
 }
 

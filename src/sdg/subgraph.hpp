@@ -3,6 +3,8 @@
 // bounds the subcomputations spanning those arrays.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -10,8 +12,27 @@
 
 namespace soap::sdg {
 
+/// Receives one enumeration level (all emitted subsets of a single
+/// cardinality, in canonical generation order).  The vector is the
+/// producer's scratch for that level; sinks may move elements out of it.
+using SubgraphLevelSink =
+    std::function<void(std::vector<std::vector<std::string>>&)>;
+
+/// Level-synchronous streaming enumeration of the connected subsets of the
+/// computed arrays: level k (all subsets of size k, grown from level k-1 by
+/// one adjacent vertex, deduplicated) is materialized and handed to `sink`
+/// before level k+1 is generated, so at most one level is ever held in
+/// memory and the consumer can process each level — e.g. shard it across a
+/// thread pool — while the total enumeration stays in canonical order.
+/// Generation stops exactly at `max_count` emitted subsets (mid-level if
+/// necessary) instead of enumerating past the cap.
+void for_each_subgraph_level(const Sdg& sdg, std::size_t max_size,
+                             std::size_t max_count,
+                             const SubgraphLevelSink& sink);
+
 /// All connected subsets of the computed arrays with size <= max_size
-/// (connectivity per Sdg::adjacent, which includes shared-input adjacency).
+/// (connectivity per Sdg::adjacent, which includes shared-input adjacency),
+/// materialized in the same canonical order the streaming producer emits.
 /// The enumeration is capped at max_count subsets (largest programs in the
 /// corpus stay far below it; the paper notes its approach scales to ~35
 /// statements).

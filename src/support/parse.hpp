@@ -1,0 +1,28 @@
+// Small strict-parse helpers for CLI surfaces.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstddef>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace soap::support {
+
+/// Strict digits-only parse of a non-negative integer: rejects empty input,
+/// sign prefixes (strtoul would silently wrap "-1" to ULONG_MAX), trailing
+/// garbage, and out-of-range values (ERANGE).  Shared by every `--threads`
+/// flag so a typo can never dial a tool up to hardware_concurrency.
+inline std::optional<std::size_t> parse_size_t(const std::string& value) {
+  if (value.empty() || !std::isdigit(static_cast<unsigned char>(value[0]))) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long n = std::strtoul(value.c_str(), &end, 10);
+  if (*end != '\0' || errno == ERANGE) return std::nullopt;
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace soap::support

@@ -188,6 +188,47 @@ for i in range(1, I - 1):
   EXPECT_EQ(b->Q_cold, Expr(2) * Expr::symbol("I") * Expr::symbol("J"));
 }
 
+TEST(Sdg, StreamingLevelsMatchMaterializedEnumeration) {
+  Program p = figure2();
+  Sdg g = Sdg::build(p);
+  std::vector<std::vector<std::string>> streamed;
+  std::size_t levels = 0;
+  std::size_t last_size = 0;
+  for_each_subgraph_level(
+      g, 4, 100000, [&](std::vector<std::vector<std::string>>& level) {
+        ++levels;
+        ASSERT_FALSE(level.empty());
+        // Level-synchronous: uniform cardinality, strictly increasing.
+        for (const auto& h : level) EXPECT_EQ(h.size(), level.front().size());
+        EXPECT_GT(level.front().size(), last_size);
+        last_size = level.front().size();
+        for (auto& h : level) streamed.push_back(std::move(h));
+      });
+  EXPECT_EQ(levels, 2u);  // {C}, {E} then {C, E}
+  EXPECT_EQ(streamed, enumerate_subgraphs(g, 4));
+}
+
+TEST(Sdg, EnumerationStopsExactlyAtMaxCount) {
+  std::string src;
+  std::string prev = "a0";
+  for (int i = 1; i <= 12; ++i) {
+    std::string cur = "a" + std::to_string(i);
+    src += "for i in range(N):\n  " + cur + "[i] = " + prev + "[i]\n";
+    prev = cur;
+  }
+  Program p = frontend::parse_program(src);
+  Sdg g = Sdg::build(p);
+  auto all = enumerate_subgraphs(g, 3);
+  ASSERT_GT(all.size(), 7u);
+  // The cap cuts generation mid-stream (even mid-level) and is exact.
+  auto capped = enumerate_subgraphs(g, 3, 7);
+  EXPECT_EQ(capped.size(), 7u);
+  for (std::size_t i = 0; i < capped.size(); ++i) {
+    EXPECT_EQ(capped[i], all[i]) << i;  // a prefix of the canonical order
+  }
+  EXPECT_TRUE(enumerate_subgraphs(g, 3, 0).empty());
+}
+
 TEST(Sdg, SubgraphEnumerationCap) {
   // A chain of 12 statements: connected subsets of size <= 3 only.
   std::string src;

@@ -1,0 +1,176 @@
+// Cross-thread-count determinism of the sharded SDG pipeline: for every
+// Table 2 corpus application the full MultiStatementBound — Q renderings,
+// per-array rho expressions and reference values (compared bit-exactly),
+// best subgraphs, and subgraph counts — must be identical for threads =
+// 1 / 2 / 8 / 0(hardware).  Expr comparisons use operator==, which under
+// hash-consing is pointer identity: the strongest possible "bit-identical"
+// statement within a run.  Labeled `parallel` for the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "frontend/lower.hpp"
+#include "kernels/table2.hpp"
+#include "sdg/multi_statement.hpp"
+
+namespace soap::sdg {
+namespace {
+
+// Sanitizer builds run the analyzer ~5-15x slower; keep the corpus sweep to
+// a representative subset there (fusion-heavy, stencil, neural, and
+// cold-bound rows) so the suite stays inside CI budgets.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+std::vector<std::string> corpus_names() {
+  if (kSanitized) {
+    return {"gemm", "cholesky", "jacobi2d", "atax",   "mvt",
+            "bicg", "gesummv",  "2mm",      "lulesh", "softmax",
+            "horizontal_diffusion"};
+  }
+  std::vector<std::string> names;
+  for (const auto& k : kernels::table2_kernels()) names.push_back(k.name);
+  return names;
+}
+
+// Everything observable about a bound, with expressions kept as interned
+// nodes so equality is pointer identity and doubles kept raw so equality is
+// bit-exact.
+struct Snapshot {
+  sym::Expr q_leading, q_sdg, q_cold;
+  std::size_t subgraphs = 0;
+  std::vector<std::string> arrays;
+  std::vector<sym::Expr> rhos;
+  std::vector<double> rho_values;
+  std::vector<std::vector<std::string>> best_subgraphs;
+};
+
+Snapshot snapshot(const Program& program, SdgOptions options,
+                  std::size_t threads) {
+  options.threads = threads;
+  auto bound = multi_statement_bound(program, options);
+  Snapshot s;
+  if (!bound) return s;
+  s.q_leading = bound->Q_leading;
+  s.q_sdg = bound->Q_sdg;
+  s.q_cold = bound->Q_cold;
+  s.subgraphs = bound->subgraphs_evaluated;
+  for (const ArrayBound& a : bound->per_array) {
+    s.arrays.push_back(a.array);
+    s.rhos.push_back(a.rho);
+    s.rho_values.push_back(a.rho_value);
+    s.best_subgraphs.push_back(a.best_subgraph);
+  }
+  return s;
+}
+
+void expect_identical(const Snapshot& a, const Snapshot& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.q_leading, b.q_leading) << label;
+  EXPECT_EQ(a.q_sdg, b.q_sdg) << label;
+  EXPECT_EQ(a.q_leading.str(), b.q_leading.str()) << label;
+  EXPECT_EQ(a.q_cold, b.q_cold) << label;
+  EXPECT_EQ(a.subgraphs, b.subgraphs) << label;
+  ASSERT_EQ(a.arrays.size(), b.arrays.size()) << label;
+  for (std::size_t i = 0; i < a.arrays.size(); ++i) {
+    EXPECT_EQ(a.arrays[i], b.arrays[i]) << label;
+    EXPECT_EQ(a.rhos[i], b.rhos[i]) << label << " rho of " << a.arrays[i];
+    // Bit-exact double comparison is the point: the parallel reduction must
+    // not reassociate anything.
+    EXPECT_EQ(a.rho_values[i], b.rho_values[i])
+        << label << " rho value of " << a.arrays[i];
+    EXPECT_EQ(a.best_subgraphs[i], b.best_subgraphs[i])
+        << label << " best subgraph of " << a.arrays[i];
+  }
+}
+
+class CorpusDeterminism : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusDeterminism, BitIdenticalAcrossThreadCounts) {
+  const kernels::KernelEntry& k = kernels::kernel_by_name(GetParam());
+  Program program = k.build();
+  Snapshot serial = snapshot(program, k.options, 1);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    Snapshot parallel = snapshot(program, k.options, threads);
+    expect_identical(serial, parallel,
+                     k.name + " @" + std::to_string(threads) + " threads");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, CorpusDeterminism,
+                         ::testing::ValuesIn(corpus_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(SdgDeterminism, ChainProgramAcrossThreadCountsIncludingHardware) {
+  // The bench_sdg_scaling shape: a statement chain with a dense level-2/3
+  // subgraph population, where sharding actually interleaves.
+  std::string src;
+  std::string prev = "a0";
+  const int statements = kSanitized ? 8 : 16;
+  for (int i = 1; i <= statements; ++i) {
+    std::string cur = "a" + std::to_string(i);
+    src += "for i in range(N):\n  for j in range(N):\n    " + cur +
+           "[i,j] = " + prev + "[i,j]\n";
+    prev = cur;
+  }
+  Program p = frontend::parse_program(src);
+  SdgOptions opt;
+  opt.max_subgraph_size = 3;
+  Snapshot serial = snapshot(p, opt, 1);
+  EXPECT_GT(serial.subgraphs, 0u);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}, std::size_t{0}}) {
+    expect_identical(serial, snapshot(p, opt, threads),
+                     "chain @" + std::to_string(threads) + " threads");
+  }
+}
+
+TEST(SdgDeterminism, AnalyzeKernelThreadOverrideMatchesSerial) {
+  // The public entry points: the thread-budget override must not change the
+  // derived bound (pointer-identical under hash-consing).
+  for (const char* name : {"gemm", "mvt", "atax"}) {
+    const kernels::KernelEntry& k = kernels::kernel_by_name(name);
+    sym::Expr serial = kernels::analyze_kernel(k);
+    EXPECT_EQ(kernels::analyze_kernel(k, 8), serial) << name;
+    EXPECT_EQ(kernels::analyze_kernel(k, 0), serial) << name;
+  }
+}
+
+TEST(SdgDeterminism, RepeatedParallelRunsAreStable) {
+  // Same thread count, repeated runs: schedules differ, results must not.
+  Program p = frontend::parse_program(R"(
+for i in range(M):
+  for j in range(N):
+    tmp[i] += A[i,j] * x[j]
+for i in range(M):
+  for j in range(N):
+    y[j] += A[i,j] * tmp[i]
+)");
+  SdgOptions opt;
+  Snapshot first = snapshot(p, opt, 8);
+  for (int round = 0; round < 5; ++round) {
+    expect_identical(first, snapshot(p, opt, 8),
+                     "round " + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace soap::sdg
