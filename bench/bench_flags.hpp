@@ -21,18 +21,22 @@ inline bool smoke_requested(int argc, char** argv) {
 }
 
 /// Worker budget from `--threads N` / `--threads=N` (SdgOptions::threads
-/// semantics: 1 = serial, 0 = all hardware threads).  `fallback` when the
-/// flag is absent or malformed, so bench drivers stay deterministic and
-/// single-threaded by default.
+/// semantics: 1 = serial, 0 = all hardware threads), via the shared
+/// support::consume_size_flag scanner.  `fallback` when the flag is absent
+/// or malformed, so bench drivers stay deterministic and single-threaded by
+/// default.
 inline std::size_t threads_requested(int argc, char** argv,
                                      std::size_t fallback = 1) {
-  auto parse = [fallback](const std::string& value) {
-    return support::parse_size_t(value).value_or(fallback);
-  };
+  std::size_t value = fallback;
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) return parse(arg.substr(10));
-    if (arg == "--threads" && i + 1 < argc) return parse(argv[i + 1]);
+    switch (support::consume_size_flag(argc, argv, i, "threads", value)) {
+      case support::FlagParse::kOk:
+        return value;
+      case support::FlagParse::kBadValue:
+        return fallback;
+      case support::FlagParse::kNoMatch:
+        break;
+    }
   }
   return fallback;
 }

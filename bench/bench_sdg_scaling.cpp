@@ -1,11 +1,13 @@
 // Experiment V-scale: analysis cost vs program size (the paper reports its
-// approach scales to ~35 statements), plus the thread sweep of the sharded
-// SDG pipeline.  google-benchmark over synthetic statement chains and the
-// Table 2 corpus batch.
+// approach scales to ~35 statements), plus the thread sweeps of the staged
+// SDG analysis pipeline and the sharded pebble-game validation path.
+// google-benchmark over synthetic statement chains, the Table 2 corpus
+// batch, and a batch of pebbling validation cases.
 #include <benchmark/benchmark.h>
 
 #include "frontend/lower.hpp"
 #include "kernels/table2.hpp"
+#include "pebbles/validate.hpp"
 #include "sdg/multi_statement.hpp"
 #include "sdg/subgraph.hpp"
 
@@ -79,6 +81,41 @@ void BM_Table2CorpusBatch(benchmark::State& state) {
   state.counters["kernels"] = static_cast<double>(kernels.size());
 }
 BENCHMARK(BM_Table2CorpusBatch)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// The sharded pebble-game validation path: Belady schedule generation +
+// game replay for one CDAG across a sweep of cache sizes, fanned over the
+// pool (pebbles::validate_schedules); results are slot-per-case, so the
+// outcome is identical for every thread count.
+void BM_PebbleValidation(benchmark::State& state) {
+  soap::Program p = soap::frontend::parse_program(R"(
+for i in range(N):
+  for j in range(N):
+    for k in range(N):
+      C[i,j] += A[i,k] * B[k,j]
+)");
+  soap::pebbles::Cdag cdag = soap::pebbles::instantiate(p, {{"N", 6}});
+  std::vector<soap::pebbles::PebbleCase> cases;
+  for (std::size_t S = 4; S <= 40; S += 2) cases.push_back({&cdag, S});
+  soap::pebbles::ShardOptions shard;
+  shard.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t consistent = 0;
+  for (auto _ : state) {
+    auto results = soap::pebbles::validate_schedules(
+        cases, soap::pebbles::Replacement::kBelady, shard);
+    consistent = 0;
+    for (const auto& r : results) consistent += r.consistent() ? 1 : 0;
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["cases"] = static_cast<double>(cases.size());
+  state.counters["consistent"] = static_cast<double>(consistent);
+}
+BENCHMARK(BM_PebbleValidation)
     ->ArgNames({"threads"})
     ->Arg(1)
     ->Arg(2)

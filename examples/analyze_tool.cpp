@@ -1,16 +1,26 @@
 // The open-source tool of the paper's abstract: derives I/O lower bounds
 // directly from provided C (or Python-style) code.
 //
-//   soap_analyze [file]            # reads the program from a file or stdin
-//   soap_analyze --sdg [file]      # also dump the SDG in Graphviz format
-//   soap_analyze --threads N ...   # shard the subgraph analysis across N
-//                                  # workers (0 = all hardware threads);
-//                                  # the derived bound is identical for
-//                                  # every thread count
+//   soap_analyze [file]                  # reads the program from a file or
+//                                        # stdin
+//   soap_analyze --sdg [file]            # also dump the SDG in Graphviz
+//                                        # format
+//   soap_analyze --threads N ...         # shard the subgraph analysis
+//                                        # pipeline across N workers (0 =
+//                                        # all hardware threads); the
+//                                        # derived bound is identical for
+//                                        # every thread count
+//   soap_analyze --max-subgraph-size N   # largest subgraph cardinality
+//                                        # enumerated (1 disables fusion
+//                                        # analysis)
+//   soap_analyze --max-subgraphs N       # cap on the number of enumerated
+//                                        # subgraphs
+//
+// Any malformed flag value or unknown option prints the usage message and
+// exits non-zero.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <sstream>
 #include <string>
 
@@ -20,38 +30,70 @@
 #include "soap/program.hpp"
 #include "support/parse.hpp"
 
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--sdg] [--threads N] [--max-subgraph-size N] "
+               "[--max-subgraphs N] [file]\n"
+               "  reads the program from [file], or stdin when omitted\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace soap;
   bool dump_sdg = false;
   std::string path;
   sdg::SdgOptions options;
-  // Strict parse (support::parse_size_t): a typo must not dial the tool up
-  // to hardware_concurrency, so unlike the bench drivers' silent serial
-  // fallback, a bad value here is a hard error.
+  // Strict parse (support::consume_size_flag): a typo must not dial the
+  // tool up to hardware_concurrency or silently change the enumeration
+  // caps, so unlike the bench drivers' silent serial fallback, a bad value
+  // here is a usage error.
+  struct SizeFlag {
+    const char* name;
+    std::size_t* out;
+  };
+  const SizeFlag size_flags[] = {
+      {"threads", &options.threads},
+      {"max-subgraph-size", &options.max_subgraph_size},
+      {"max-subgraphs", &options.max_subgraphs},
+  };
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    std::string value;
+    const std::string arg = argv[i];
     if (arg == "--sdg") {
       dump_sdg = true;
       continue;
-    } else if (arg == "--threads") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--threads requires a value\n");
-        return 1;
+    }
+    bool matched = false;
+    for (const SizeFlag& flag : size_flags) {
+      switch (support::consume_size_flag(argc, argv, i, flag.name,
+                                         *flag.out)) {
+        case support::FlagParse::kOk:
+          matched = true;
+          break;
+        case support::FlagParse::kBadValue:
+          std::fprintf(stderr, "invalid or missing value for --%s\n",
+                       flag.name);
+          return usage(argv[0]);
+        case support::FlagParse::kNoMatch:
+          break;
       }
-      value = argv[++i];
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      value = arg.substr(10);
-    } else {
-      path = arg;
-      continue;
+      if (matched) break;
     }
-    std::optional<std::size_t> threads = support::parse_size_t(value);
-    if (!threads) {
-      std::fprintf(stderr, "invalid --threads value '%s'\n", value.c_str());
-      return 1;
+    if (matched) continue;
+    if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
     }
-    options.threads = *threads;
+    if (!path.empty()) {
+      std::fprintf(stderr, "more than one input file ('%s' and '%s')\n",
+                   path.c_str(), arg.c_str());
+      return usage(argv[0]);
+    }
+    path = arg;
   }
   std::string source;
   if (path.empty()) {

@@ -20,10 +20,12 @@ sym::Expr analyze_kernel(const KernelEntry& entry) {
   return analyze_kernel(entry, entry.options.threads);
 }
 
-sym::Expr analyze_kernel(const KernelEntry& entry, std::size_t threads) {
+sym::Expr analyze_kernel(const KernelEntry& entry, std::size_t threads,
+                         support::ExecutorRef executor) {
   Program program = entry.build();
   sdg::SdgOptions options = entry.options;
   options.threads = threads;
+  options.executor = executor;
   auto bound = sdg::multi_statement_bound(program, options);
   if (!bound) {
     throw std::runtime_error("analyze_kernel: no bound for " + entry.name);
@@ -31,13 +33,23 @@ sym::Expr analyze_kernel(const KernelEntry& entry, std::size_t threads) {
   return bound->Q_leading;
 }
 
-std::vector<sym::Expr> analyze_corpus(std::size_t threads) {
+std::vector<sym::Expr> analyze_corpus(std::size_t threads,
+                                      support::ExecutorRef executor) {
   const std::vector<KernelEntry>& kernels = table2_kernels();
   support::ParallelOptions par;
   par.threads = threads;
+  par.executor = executor;
+  // Kernels are claimed concurrently, and each kernel's inner analysis
+  // pipeline shards its subgraphs across the same executor with the same
+  // budget.  While many kernels are in flight the executor is saturated
+  // either way; once only a long kernel remains, its subgraph shards fan
+  // out over the now-idle workers.  Caller participation at both levels
+  // means a starved executor degrades to serial instead of deadlocking,
+  // and per-kernel determinism makes the nesting invisible in the output.
   return support::parallel_map<sym::Expr>(
-      kernels.size(), par,
-      [&kernels](std::size_t i) { return analyze_kernel(kernels[i]); });
+      kernels.size(), par, [&kernels, threads, executor](std::size_t i) {
+        return analyze_kernel(kernels[i], threads, executor);
+      });
 }
 
 const KernelEntry& kernel_by_name(const std::string& name) {

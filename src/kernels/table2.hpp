@@ -46,15 +46,20 @@ const std::vector<KernelEntry>& table2_kernels();
 sym::Expr analyze_kernel(const KernelEntry& entry);
 
 /// Same, with the entry's configured thread budget overridden (see
-/// SdgOptions::threads: 1 = serial, 0 = all hardware threads).
-sym::Expr analyze_kernel(const KernelEntry& entry, std::size_t threads);
+/// SdgOptions::threads: 1 = serial, 0 = all hardware threads) and an
+/// optional executor for the helper workers (default: the global pool).
+sym::Expr analyze_kernel(const KernelEntry& entry, std::size_t threads,
+                         support::ExecutorRef executor = {});
 
-/// Analyzes the whole 38-application corpus, sharded kernel-by-kernel
-/// across the shared thread pool (`threads` executors, counting the
-/// caller; each kernel's own analysis stays serial).  Slot i holds the
-/// bound of table2_kernels()[i]; the result is identical for every thread
-/// count.
-std::vector<sym::Expr> analyze_corpus(std::size_t threads = 1);
+/// Analyzes the whole 38-application corpus as one batch of (kernel x
+/// subgraph-shard) work items: kernels are claimed concurrently AND each
+/// kernel's own analysis pipeline shards its subgraphs across the same
+/// executor, so a long-tail kernel (bert_encoder) spreads over every idle
+/// worker instead of serializing the batch the way kernel-granularity
+/// sharding did.  Slot i holds the bound of table2_kernels()[i]; the result
+/// is bit-identical for every thread count and executor.
+std::vector<sym::Expr> analyze_corpus(std::size_t threads = 1,
+                                      support::ExecutorRef executor = {});
 
 /// Lookup by name; throws std::out_of_range when missing.
 const KernelEntry& kernel_by_name(const std::string& name);

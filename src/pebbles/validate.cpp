@@ -1,0 +1,66 @@
+#include "pebbles/validate.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "support/parallel.hpp"
+
+namespace soap::pebbles {
+
+namespace {
+
+support::ParallelOptions to_parallel(const ShardOptions& shard) {
+  support::ParallelOptions par;
+  par.threads = shard.threads;
+  par.executor = shard.executor;
+  return par;
+}
+
+}  // namespace
+
+std::vector<Cdag> instantiate_batch(const std::vector<InstantiationJob>& jobs,
+                                    const InstantiateOptions& options,
+                                    const ShardOptions& shard) {
+  return support::parallel_map<Cdag>(
+      jobs.size(), to_parallel(shard), [&](std::size_t i) {
+        return instantiate(*jobs[i].program, jobs[i].params, options);
+      });
+}
+
+std::vector<GameResult> run_pebblings(const std::vector<ReplayJob>& jobs,
+                                      const ShardOptions& shard) {
+  return support::parallel_map<GameResult>(
+      jobs.size(), to_parallel(shard), [&](std::size_t i) {
+        return run_pebbling(*jobs[i].cdag, jobs[i].S, *jobs[i].moves);
+      });
+}
+
+std::vector<ScheduleValidation> validate_schedules(
+    const std::vector<PebbleCase>& cases, Replacement policy,
+    const ShardOptions& shard) {
+  return support::parallel_map<ScheduleValidation>(
+      cases.size(), to_parallel(shard), [&](std::size_t i) {
+        ScheduleValidation v;
+        try {
+          v.schedule = natural_order_pebbling(*cases[i].cdag, cases[i].S,
+                                              policy);
+          v.scheduled = true;
+        } catch (const std::exception& e) {
+          v.error = e.what();
+          return v;
+        }
+        v.replay = run_pebbling(*cases[i].cdag, cases[i].S, v.schedule.moves);
+        return v;
+      });
+}
+
+std::vector<std::optional<OptimalResult>> optimal_pebblings(
+    const std::vector<PebbleCase>& cases, const OptimalOptions& options,
+    const ShardOptions& shard) {
+  return support::parallel_map<std::optional<OptimalResult>>(
+      cases.size(), to_parallel(shard), [&](std::size_t i) {
+        return optimal_pebbling(*cases[i].cdag, cases[i].S, options);
+      });
+}
+
+}  // namespace soap::pebbles

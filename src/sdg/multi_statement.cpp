@@ -9,6 +9,7 @@
 #include "bounds/intensity.hpp"
 #include "sdg/subgraph.hpp"
 #include "support/parallel.hpp"
+#include "support/pipeline.hpp"
 #include "support/sym_map.hpp"
 #include "symbolic/leading.hpp"
 
@@ -77,33 +78,63 @@ std::optional<MultiStatementBound> multi_statement_bound(
   Sdg sdg = Sdg::build(program);
 
   // The per-subgraph chain merge_subgraph -> derive_chi -> minimize_intensity
-  // -> eval is independent per subgraph; shard each enumeration level across
-  // the pool.  Results land in per-index slots and are appended in
-  // enumeration order, so `evaluated` — and every reduction below — is
-  // identical for any thread count.
+  // -> eval is independent per subgraph.  Whichever schedule runs it, the
+  // scheduler decides only *who* analyzes a subgraph: results are reduced
+  // into `evaluated` in canonical enumeration order, so `evaluated` — and
+  // every reduction below — is identical for any thread count, executor,
+  // and schedule.
   std::vector<Evaluated> evaluated;
   RhoValueCache rho_cache;
-  support::ParallelOptions par;
-  par.threads = options.threads;
-  for_each_subgraph_level(
-      sdg, options.max_subgraph_size, options.max_subgraphs,
-      [&](std::vector<std::vector<std::string>>& level) {
-        auto slots = support::parallel_map<std::optional<Evaluated>>(
-            level.size(), par,
-            [&](std::size_t i) -> std::optional<Evaluated> {
-              MergedSubgraph merged = merge_subgraph(sdg, level[i]);
-              auto chi = bounds::derive_chi(merged.problem);
-              // Unbounded intensity: no constraint from this subgraph.
-              if (!chi) return std::nullopt;
-              bounds::IntensityResult in = bounds::minimize_intensity(*chi);
-              double value = rho_cache.value(in.rho);
-              if (!std::isfinite(value) || value <= 0) return std::nullopt;
-              return Evaluated{std::move(level[i]), in.rho, value};
-            });
-        for (std::optional<Evaluated>& slot : slots) {
+  auto analyze_one =
+      [&](std::vector<std::string>&& arrays) -> std::optional<Evaluated> {
+    MergedSubgraph merged = merge_subgraph(sdg, arrays);
+    auto chi = bounds::derive_chi(merged.problem);
+    // Unbounded intensity: no constraint from this subgraph.
+    if (!chi) return std::nullopt;
+    bounds::IntensityResult in = bounds::minimize_intensity(*chi);
+    double value = rho_cache.value(in.rho);
+    if (!std::isfinite(value) || value <= 0) return std::nullopt;
+    return Evaluated{std::move(arrays), in.rho, value};
+  };
+
+  if (options.schedule == SdgSchedule::kPipelined) {
+    // Staged pipeline: the enumeration producer streams each subgraph into
+    // the analysis stage the moment it is generated — per-subgraph analysis
+    // overlaps with the enumeration of the next level — and the ordered
+    // sink appends results by sequence index.
+    support::PipelineOptions pipe;
+    pipe.workers = options.threads;
+    pipe.executor = options.executor;
+    support::run_pipeline<std::vector<std::string>>(
+        pipe,
+        [&](const std::function<bool(std::vector<std::string> &&)>& emit) {
+          for_each_subgraph(sdg, options.max_subgraph_size,
+                            options.max_subgraphs,
+                            [&](std::vector<std::string>&& arrays) {
+                              return emit(std::move(arrays));
+                            });
+        },
+        analyze_one,
+        [&](std::size_t, std::optional<Evaluated>&& slot) {
           if (slot) evaluated.push_back(std::move(*slot));
-        }
-      });
+        });
+  } else {
+    // Level-synchronous reference schedule: materialize each enumeration
+    // level, shard it, barrier, continue.
+    support::ParallelOptions par;
+    par.threads = options.threads;
+    par.executor = options.executor;
+    for_each_subgraph_level(
+        sdg, options.max_subgraph_size, options.max_subgraphs,
+        [&](std::vector<std::vector<std::string>>& level) {
+          auto slots = support::parallel_map<std::optional<Evaluated>>(
+              level.size(), par,
+              [&](std::size_t i) { return analyze_one(std::move(level[i])); });
+          for (std::optional<Evaluated>& slot : slots) {
+            if (slot) evaluated.push_back(std::move(*slot));
+          }
+        });
+  }
 
   MultiStatementBound out;
   out.subgraphs_evaluated = evaluated.size();

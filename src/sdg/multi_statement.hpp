@@ -5,6 +5,7 @@
 // least once).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -12,8 +13,25 @@
 #include "bounds/result.hpp"
 #include "sdg/merge.hpp"
 #include "sdg/sdg.hpp"
+#include "support/executor.hpp"
 
 namespace soap::sdg {
+
+/// How the per-subgraph analysis is scheduled over the enumeration.  Both
+/// schedules produce bit-identical MultiStatementBounds at every worker
+/// count — the determinism suite enforces it — so kPipelined is strictly a
+/// wall-clock improvement.
+enum class SdgSchedule : std::uint8_t {
+  /// Staged pipeline: the subgraph producer streams into the per-subgraph
+  /// analysis stages, so analysis overlaps with the enumeration of the next
+  /// level and the reduction happens in enumeration order as results
+  /// arrive.  Default.
+  kPipelined,
+  /// Level-synchronous: each enumeration level is fully materialized, then
+  /// sharded, with a barrier before the next level is generated.  Kept as
+  /// the reference schedule for the determinism oracle.
+  kLevelSync,
+};
 
 struct SdgOptions {
   /// Largest subgraph cardinality enumerated; 1 disables fusion analysis.
@@ -27,6 +45,12 @@ struct SdgOptions {
   /// is bit-identical for every value — sharding only changes who computes
   /// each subgraph, never what is computed or the order it is reduced in.
   std::size_t threads = 1;
+  /// Where helper workers run: the process-global pool by default; inject a
+  /// private pool or ExecutorRef::serial() to override (helper fan-out is
+  /// capped by the executor's concurrency).
+  support::ExecutorRef executor;
+  /// Pipelined (default) vs level-synchronous scheduling; see SdgSchedule.
+  SdgSchedule schedule = SdgSchedule::kPipelined;
   /// Include the cold bound (inputs touched + terminal outputs stored at
   /// least once) via max().  Off by default: the bounding-box footprint
   /// over-counts for version-dimension encodings (time stencils) and

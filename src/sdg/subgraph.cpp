@@ -25,9 +25,8 @@ struct SubsetHash {
 
 }  // namespace
 
-void for_each_subgraph_level(const Sdg& sdg, std::size_t max_size,
-                             std::size_t max_count,
-                             const SubgraphLevelSink& sink) {
+void for_each_subgraph(const Sdg& sdg, std::size_t max_size,
+                       std::size_t max_count, const SubgraphSink& sink) {
   const std::vector<std::string>& computed = sdg.computed_arrays();
   const std::size_t n = computed.size();
   if (n == 0 || max_size == 0 || max_count == 0) return;
@@ -43,30 +42,29 @@ void for_each_subgraph_level(const Sdg& sdg, std::size_t max_size,
   }
 
   std::size_t emitted = 0;
-  std::vector<std::vector<std::string>> level;
-  auto emit = [&](const std::vector<std::size_t>& subset) {
+  // Emits one subset; false = stop (cap reached or the sink declined more).
+  auto emit = [&](const std::vector<std::size_t>& subset) -> bool {
     std::vector<std::string> names;
     names.reserve(subset.size());
     for (std::size_t i : subset) names.push_back(computed[i]);
-    level.push_back(std::move(names));
     ++emitted;
+    if (!sink(std::move(names))) return false;
+    return emitted < max_count;
   };
 
   // Level 1: singletons.
   std::vector<std::vector<std::size_t>> frontier;
   frontier.reserve(n);
-  for (std::size_t i = 0; i < n && emitted < max_count; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     frontier.push_back({i});
-    emit(frontier.back());
+    if (!emit(frontier.back())) return;
   }
-  if (!level.empty()) sink(level);
-  level.clear();
 
   // Level k+1: grow every level-k subset by one adjacent vertex.  A size-k
   // subset can only be produced while generating level k, so deduplication
   // needs just the current level's set (cleared between levels).
   std::size_t size = 1;
-  while (!frontier.empty() && emitted < max_count && size < max_size) {
+  while (!frontier.empty() && size < max_size) {
     std::vector<std::vector<std::size_t>> next;
     std::unordered_set<std::vector<std::size_t>, SubsetHash> seen;
     for (const auto& subset : frontier) {
@@ -80,29 +78,41 @@ void for_each_subgraph_level(const Sdg& sdg, std::size_t max_size,
         std::vector<std::size_t> grown = subset;
         grown.insert(std::lower_bound(grown.begin(), grown.end(), w), w);
         if (!seen.insert(grown).second) continue;
-        emit(grown);
         next.push_back(std::move(grown));
-        if (emitted >= max_count) break;
+        if (!emit(next.back())) return;
       }
-      if (emitted >= max_count) break;
     }
     frontier = std::move(next);
     ++size;
-    if (!level.empty()) sink(level);
-    level.clear();
   }
+}
+
+void for_each_subgraph_level(const Sdg& sdg, std::size_t max_size,
+                             std::size_t max_count,
+                             const SubgraphLevelSink& sink) {
+  std::vector<std::vector<std::string>> level;
+  std::size_t current_size = 0;
+  for_each_subgraph(
+      sdg, max_size, max_count, [&](std::vector<std::string>&& names) {
+        if (names.size() != current_size && !level.empty()) {
+          sink(level);
+          level.clear();
+        }
+        current_size = names.size();
+        level.push_back(std::move(names));
+        return true;
+      });
+  if (!level.empty()) sink(level);
 }
 
 std::vector<std::vector<std::string>> enumerate_subgraphs(
     const Sdg& sdg, std::size_t max_size, std::size_t max_count) {
   std::vector<std::vector<std::string>> out;
-  for_each_subgraph_level(
-      sdg, max_size, max_count,
-      [&out](std::vector<std::vector<std::string>>& level) {
-        for (std::vector<std::string>& names : level) {
-          out.push_back(std::move(names));
-        }
-      });
+  for_each_subgraph(sdg, max_size, max_count,
+                    [&out](std::vector<std::string>&& names) {
+                      out.push_back(std::move(names));
+                      return true;
+                    });
   return out;
 }
 

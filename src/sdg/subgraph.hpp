@@ -12,20 +12,34 @@
 
 namespace soap::sdg {
 
+/// Receives one emitted subset (ownership transferred, canonical generation
+/// order).  Return false to stop the enumeration early — the producer
+/// returns without generating further subsets.
+using SubgraphSink = std::function<bool(std::vector<std::string>&&)>;
+
+/// Streaming enumeration of the connected subsets of the computed arrays:
+/// each subset is handed to `sink` the moment it is generated, so a
+/// consumer — e.g. the staged analysis pipeline — can process subgraphs
+/// while the enumeration of the next level is still in progress.  Subsets
+/// are emitted in canonical order (by cardinality, then generation order
+/// within a level: level k+1 grows every level-k subset by one adjacent
+/// vertex, deduplicated); generation stops exactly at `max_count` emitted
+/// subsets or when `sink` returns false.
+void for_each_subgraph(const Sdg& sdg, std::size_t max_size,
+                       std::size_t max_count, const SubgraphSink& sink);
+
 /// Receives one enumeration level (all emitted subsets of a single
 /// cardinality, in canonical generation order).  The vector is the
 /// producer's scratch for that level; sinks may move elements out of it.
 using SubgraphLevelSink =
     std::function<void(std::vector<std::vector<std::string>>&)>;
 
-/// Level-synchronous streaming enumeration of the connected subsets of the
-/// computed arrays: level k (all subsets of size k, grown from level k-1 by
-/// one adjacent vertex, deduplicated) is materialized and handed to `sink`
-/// before level k+1 is generated, so at most one level is ever held in
-/// memory and the consumer can process each level — e.g. shard it across a
-/// thread pool — while the total enumeration stays in canonical order.
-/// Generation stops exactly at `max_count` emitted subsets (mid-level if
-/// necessary) instead of enumerating past the cap.
+/// Level-synchronous batching of for_each_subgraph: level k (all subsets of
+/// size k) is materialized and handed to `sink` before level k+1 is
+/// generated, so at most one level is ever held in memory.  This is the
+/// barriered schedule the pipelined analysis replaced; it remains the
+/// reference oracle for the determinism suite and the shape for consumers
+/// that genuinely need whole levels.
 void for_each_subgraph_level(const Sdg& sdg, std::size_t max_size,
                              std::size_t max_count,
                              const SubgraphLevelSink& sink);

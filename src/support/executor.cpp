@@ -1,0 +1,27 @@
+#include "support/executor.hpp"
+
+#include <utility>
+
+#include "support/thread_pool.hpp"
+
+namespace soap::support {
+
+void SerialExecutor::submit(std::function<void()> task) {
+  // Inline execution keeps the class total (no hidden queue to drain), but
+  // the structured layers never reach here: concurrency() == 0 makes them
+  // run everything on the caller without submitting.
+  std::function<void()> t = std::move(task);
+  t();
+}
+
+ExecutorRef ExecutorRef::serial() {
+  static SerialExecutor executor;
+  return ExecutorRef(executor);
+}
+
+Executor& ExecutorRef::get() const {
+  if (executor_ != nullptr) return *executor_;
+  return ThreadPool::global();
+}
+
+}  // namespace soap::support

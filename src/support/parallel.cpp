@@ -91,19 +91,24 @@ void parallel_for(std::size_t n, const ParallelOptions& options,
   const std::size_t threads = resolve_threads(options.threads);
   const std::size_t chunks = (n + grain - 1) / grain;
   if (threads <= 1 || chunks <= 1) {
-    // Serial bypass: no pool, no shared state, native exception flow.
+    // Serial bypass: no executor, no shared state, native exception flow.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
-  ThreadPool& pool = options.pool != nullptr ? *options.pool
-                                             : ThreadPool::global();
   // The caller is one executor; there is never a point in more helpers than
-  // remaining chunks.
-  const std::size_t helpers = std::min(threads, chunks) - 1;
+  // remaining chunks, nor than the executor can actually run concurrently
+  // (a SerialExecutor therefore yields zero helpers and the caller drains
+  // every chunk itself).
+  const std::size_t helpers = std::min(
+      std::min(threads, chunks) - 1, options.executor.concurrency());
+  if (helpers == 0) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   auto work = std::make_shared<SharedWork>(n, grain, fn);
   for (std::size_t h = 0; h < helpers; ++h) {
-    pool.submit([work] { helper_main(work); });
+    options.executor.submit([work] { helper_main(work); });
   }
 
   work->drain();

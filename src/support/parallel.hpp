@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/executor.hpp"
 #include "support/thread_pool.hpp"
 
 namespace soap::support {
@@ -48,8 +49,11 @@ struct ParallelOptions {
   /// Indices claimed per cursor fetch; raise it when fn is tiny so the
   /// atomic traffic amortizes.  Clamped to at least 1.
   std::size_t grain = 1;
-  /// Pool for helper tasks; nullptr = ThreadPool::global().
-  ThreadPool* pool = nullptr;
+  /// Where helper tasks run; default = ThreadPool::global().  Helper
+  /// fan-out is additionally capped by executor.concurrency(), so injecting
+  /// ExecutorRef::serial() forces the whole loop onto the calling thread
+  /// regardless of `threads`.
+  ExecutorRef executor;
 };
 
 /// 0 -> hardware_threads(), anything else unchanged.

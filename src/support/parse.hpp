@@ -25,4 +25,34 @@ inline std::optional<std::size_t> parse_size_t(const std::string& value) {
   return static_cast<std::size_t>(n);
 }
 
+enum class FlagParse {
+  kNoMatch,   ///< argv[i] is not this flag
+  kOk,        ///< flag matched, value parsed into `out`
+  kBadValue,  ///< flag matched but the value is missing or malformed
+};
+
+/// Matches `--<name> V` (advancing `i` past the value token) or
+/// `--<name>=V` at argv[i] and strict-parses V via parse_size_t.  The one
+/// shared implementation behind every size-valued CLI flag (`--threads`,
+/// `--max-subgraph-size`, ...) across the bench drivers and analyze_tool;
+/// only the callers' error policies differ (silent fallback vs hard exit).
+inline FlagParse consume_size_flag(int argc, char** argv, int& i,
+                                   const std::string& name, std::size_t& out) {
+  const std::string flag = "--" + name;
+  const std::string arg = argv[i];
+  std::string value;
+  if (arg == flag) {
+    if (i + 1 >= argc) return FlagParse::kBadValue;
+    value = argv[++i];
+  } else if (arg.rfind(flag + "=", 0) == 0) {
+    value = arg.substr(flag.size() + 1);
+  } else {
+    return FlagParse::kNoMatch;
+  }
+  std::optional<std::size_t> parsed = parse_size_t(value);
+  if (!parsed) return FlagParse::kBadValue;
+  out = *parsed;
+  return FlagParse::kOk;
+}
+
 }  // namespace soap::support

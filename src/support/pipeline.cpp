@@ -1,0 +1,40 @@
+#include "support/pipeline.hpp"
+
+namespace soap::support::detail {
+
+void PipelineControl::record_error_locked(std::size_t seq,
+                                          std::exception_ptr error) {
+  if (seq < error_seq_) {
+    error_seq_ = seq;
+    error_ = std::move(error);
+  }
+  cancel_locked();
+}
+
+void PipelineControl::cancel_locked() {
+  cancelled.store(true);
+  item_cv.notify_all();
+  window_cv.notify_all();
+  idle_cv.notify_all();
+}
+
+void PipelineControl::wait_helpers_retired() {
+  std::unique_lock<std::mutex> lock(mu);
+  idle_cv.wait(lock, [this] { return active == 0; });
+}
+
+void PipelineControl::rethrow_if_error() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error_) return;
+    // Move the error out so the exception object's last pipeline-held
+    // reference is released on the calling thread, not by whichever late
+    // helper happens to drop the final PipelineState ref.
+    error = std::move(error_);
+    error_ = nullptr;
+  }
+  std::rethrow_exception(error);
+}
+
+}  // namespace soap::support::detail

@@ -1,0 +1,289 @@
+// Staged pipeline with a streaming producer, parallel workers, and an
+// ordered-reduction sink — the execution shape of the whole analysis stack
+// (subgraph enumeration -> per-subgraph analysis -> deterministic reduction).
+//
+//   run_pipeline<Item>(options, produce, work, consume)
+//
+//     produce(emit)     runs on the calling thread; calls emit(item) once
+//                       per work item.  emit returns false when the
+//                       pipeline has been cancelled — stop producing.
+//     work(Item&&) -> R runs on the caller and up to workers-1 executor
+//                       helpers, overlapped with production.
+//     consume(seq, R&&) called exclusively and in strictly increasing
+//                       sequence order (seq = the emit index), so the
+//                       reduction is bit-identical for every worker count,
+//                       executor, and completion interleaving.
+//
+// Design points, in the order they matter to callers:
+//
+// * Determinism.  Scheduling decides only *who* runs an item; results are
+//   reordered by sequence index before consume sees them, so a pure `work`
+//   makes the reduction independent of thread count and timing.
+//
+// * Serial bypass.  An effective worker count of 1 — or any executor whose
+//   concurrency() is 0, e.g. SerialExecutor — runs emit -> work -> consume
+//   inline with no queue, no locks, and native exception flow: zero
+//   overhead over a hand-written loop.
+//
+// * Backpressure, bounded memory.  The stage queue holds at most
+//   `queue_capacity` items and the reorder buffer at most `reorder_window`
+//   completed results.  A producer that outruns the workers, or workers
+//   that outrun the consumer, block instead of accumulating unboundedly.
+//
+// * Progress never depends on the executor.  The producer, when the queue
+//   is full, processes an item itself instead of waiting for a helper
+//   (help-first backpressure), and the caller drains the queue after
+//   producing; a fully starved pool degrades to the serial schedule
+//   instead of deadlocking.  Items are claimed FIFO, so the holder of the
+//   lowest undelivered sequence index is never blocked on the reorder
+//   window — some thread can always advance it.
+//
+// * Exceptions.  The first failure — in produce, work, or consume — cancels
+//   the pipeline (emit starts returning false, queued items are dropped);
+//   among the failures that ran, the one with the smallest sequence index
+//   is rethrown on the calling thread after all active helpers retired.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "support/executor.hpp"
+#include "support/parallel.hpp"
+
+namespace soap::support {
+
+struct PipelineOptions {
+  /// Worker budget counting the calling thread: 1 = serial inline
+  /// (default), 0 = hardware_threads(), N = up to N.  Helper fan-out is
+  /// additionally capped by executor.concurrency().
+  std::size_t workers = 1;
+  /// Stage-queue capacity (producer blocks / helps past it); 0 = auto.
+  std::size_t queue_capacity = 0;
+  /// Max completed results held for reordering before workers block
+  /// (bounds memory under a slow consumer); 0 = auto.
+  std::size_t reorder_window = 0;
+  /// Where helper workers run; default = ThreadPool::global().
+  ExecutorRef executor;
+};
+
+namespace detail {
+
+// The non-templated spine of a pipeline run: cancellation, lowest-sequence
+// error recording, helper accounting, and every condition variable.  One
+// mutex guards the templated queue/reorder state too — the per-item work is
+// orders of magnitude heavier than the handoffs, so lock granularity is not
+// the bottleneck, and a single mutex keeps the blocking protocol auditable.
+class PipelineControl {
+ public:
+  std::mutex mu;
+  std::condition_variable item_cv;    ///< waiting for queue items
+  std::condition_variable window_cv;  ///< waiting for the reorder window
+  std::condition_variable idle_cv;    ///< caller waiting for helpers
+  // No queue-capacity condvar: a producer facing a full queue processes an
+  // item itself (help-first backpressure) instead of ever blocking for
+  // space.
+
+  std::atomic<bool> cancelled{false};
+  bool closed = false;  ///< producer finished; guarded by mu
+  int active = 0;       ///< helpers currently running; guarded by mu
+
+  /// Records the exception for `seq` if it is the lowest-index failure so
+  /// far, then cancels the pipeline.  Call with mu held.
+  void record_error_locked(std::size_t seq, std::exception_ptr error);
+  /// Sets `cancelled` and wakes every waiter.  Call with mu held.
+  void cancel_locked();
+  /// Blocks until every started helper has retired.  Caller-side.
+  void wait_helpers_retired();
+  /// Rethrows the recorded lowest-index failure, if any, releasing the
+  /// exception's last pipeline-held reference on this thread.
+  void rethrow_if_error();
+
+ private:
+  std::exception_ptr error_;
+  std::size_t error_seq_ = static_cast<std::size_t>(-1);
+};
+
+template <class Item, class R>
+struct PipelineState {
+  PipelineControl ctl;
+  const std::size_t capacity;
+  const std::size_t window;
+  const std::function<R(Item&&)>& work;
+  const std::function<void(std::size_t, R&&)>& consume;
+
+  // All guarded by ctl.mu.
+  std::deque<std::pair<std::size_t, Item>> queue;
+  std::map<std::size_t, R> held;  ///< completed, waiting for their turn
+  std::size_t next_seq = 0;       ///< next sequence index to consume
+
+  PipelineState(std::size_t capacity_in, std::size_t window_in,
+                const std::function<R(Item&&)>& work_in,
+                const std::function<void(std::size_t, R&&)>& consume_in)
+      : capacity(capacity_in),
+        window(window_in),
+        work(work_in),
+        consume(consume_in) {}
+
+  /// Claims one queued item and runs it through work + ordered delivery.
+  /// wait=true blocks until an item arrives, the queue closes, or the
+  /// pipeline cancels; wait=false (producer help) only takes what is
+  /// already queued.  Returns false when there was nothing left to claim.
+  bool run_one(bool wait) {
+    std::optional<std::pair<std::size_t, Item>> claim;
+    {
+      std::unique_lock<std::mutex> lock(ctl.mu);
+      if (wait) {
+        ctl.item_cv.wait(lock, [&] {
+          return ctl.cancelled.load() || ctl.closed || !queue.empty();
+        });
+      }
+      if (ctl.cancelled.load() || queue.empty()) return false;
+      claim.emplace(std::move(queue.front()));
+      queue.pop_front();
+    }
+    try {
+      deliver(claim->first, work(std::move(claim->second)));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(ctl.mu);
+      ctl.record_error_locked(claim->first, std::current_exception());
+    }
+    return true;
+  }
+
+  /// Hands a completed result to the ordered sink: waits for the reorder
+  /// window, then drains every consecutive ready result through consume.
+  /// consume runs under the lock — that is what serializes it and gives
+  /// the strict sequence order.
+  void deliver(std::size_t seq, R&& result) {
+    std::unique_lock<std::mutex> lock(ctl.mu);
+    ctl.window_cv.wait(lock, [&] {
+      return ctl.cancelled.load() || seq < next_seq + window;
+    });
+    if (ctl.cancelled.load()) return;
+    held.emplace(seq, std::move(result));
+    while (!held.empty() && held.begin()->first == next_seq) {
+      auto node = held.extract(held.begin());
+      try {
+        consume(node.key(), std::move(node.mapped()));
+      } catch (...) {
+        ctl.record_error_locked(node.key(), std::current_exception());
+        return;
+      }
+      ++next_seq;
+      ctl.window_cv.notify_all();
+    }
+  }
+
+  /// Worker loop: claim-and-run until the queue is closed and empty or the
+  /// pipeline cancels.  Runs on every helper and, post-production, on the
+  /// caller.
+  void drain() {
+    while (run_one(/*wait=*/true)) {
+    }
+  }
+
+  void helper_main() {
+    {
+      std::lock_guard<std::mutex> lock(ctl.mu);
+      ++ctl.active;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(ctl.mu);
+      --ctl.active;
+    }
+    ctl.idle_cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// Runs the produce -> work -> consume pipeline described at the top of
+/// this header.  Item is the stage payload (explicit template argument);
+/// R is deduced from `work`.
+template <class Item, class Produce, class Work, class Consume>
+void run_pipeline(const PipelineOptions& options, Produce&& produce,
+                  Work&& work, Consume&& consume) {
+  using R = std::decay_t<std::invoke_result_t<Work&, Item&&>>;
+  using Emit = std::function<bool(Item&&)>;
+
+  const std::size_t workers = resolve_threads(options.workers);
+  const std::size_t helpers = std::min(
+      workers > 0 ? workers - 1 : 0, options.executor.concurrency());
+  if (helpers == 0) {
+    // Serial bypass: emit -> work -> consume inline, native exceptions.
+    std::size_t seq = 0;
+    Emit emit = [&](Item&& item) -> bool {
+      consume(seq, work(std::move(item)));
+      ++seq;
+      return true;
+    };
+    produce(static_cast<const Emit&>(emit));
+    return;
+  }
+
+  const std::size_t capacity = options.queue_capacity != 0
+                                   ? options.queue_capacity
+                                   : 2 * (helpers + 1);
+  const std::size_t window = options.reorder_window != 0
+                                 ? options.reorder_window
+                                 : 2 * (capacity + helpers + 1);
+
+  const std::function<R(Item&&)> work_fn = std::ref(work);
+  const std::function<void(std::size_t, R&&)> consume_fn = std::ref(consume);
+  // shared_ptr so a helper that starts after the caller already returned
+  // (its work long since drained) still has valid state to no-op against.
+  auto state = std::make_shared<detail::PipelineState<Item, R>>(
+      capacity, window, work_fn, consume_fn);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    options.executor.submit([state] { state->helper_main(); });
+  }
+
+  std::size_t produced = 0;
+  Emit emit = [&](Item&& item) -> bool {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(state->ctl.mu);
+        if (state->ctl.cancelled.load()) return false;
+        if (state->queue.size() < state->capacity) {
+          state->queue.emplace_back(produced, std::move(item));
+          ++produced;
+          state->ctl.item_cv.notify_one();
+          return true;
+        }
+      }
+      // Queue full: help-first backpressure.  Processing an item here (a)
+      // frees a slot and (b) guarantees progress even if the executor never
+      // actually runs a helper.
+      state->run_one(/*wait=*/false);
+    }
+  };
+  try {
+    produce(static_cast<const Emit&>(emit));
+  } catch (...) {
+    // A producer failure ranks after every item it already emitted.
+    std::lock_guard<std::mutex> lock(state->ctl.mu);
+    state->ctl.record_error_locked(produced, std::current_exception());
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->ctl.mu);
+    state->ctl.closed = true;
+  }
+  state->ctl.item_cv.notify_all();
+
+  state->drain();
+  state->ctl.wait_helpers_retired();
+  state->ctl.rethrow_if_error();
+}
+
+}  // namespace soap::support

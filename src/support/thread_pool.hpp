@@ -1,9 +1,11 @@
-// Fixed-size worker pool shared by every parallel stage of the analyzer.
+// Fixed-size worker pool shared by every parallel stage of the analyzer —
+// the canonical `Executor` implementation.
 //
 // The pool is deliberately minimal: a mutex/condvar task queue and N
 // detachedly-long-lived workers.  All structured parallelism (sharding,
 // result collection, exception propagation, nested-use safety) lives one
-// layer up in support/parallel.hpp, which submits plain thunks here.
+// layer up in support/parallel.hpp and support/pipeline.hpp, which submit
+// plain thunks here through the Executor interface.
 //
 // Thread-safety contract: `submit` may be called concurrently from any
 // thread, including from inside a running task (nested submission never
@@ -20,21 +22,29 @@
 #include <thread>
 #include <vector>
 
+#include "support/executor.hpp"
+
 namespace soap::support {
 
-class ThreadPool {
+class ThreadPool final : public Executor {
  public:
   /// Spawns `threads` workers; 0 means hardware_threads().
   explicit ThreadPool(std::size_t threads = 0);
   /// Drains the queue (all submitted tasks run) and joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task` for execution on some worker.  Never blocks on other
   /// tasks; safe to call from inside a task running on this same pool.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) override;
+
+  /// Executor contract: the pool can run `size()` tasks concurrently with
+  /// the submitting thread.
+  [[nodiscard]] std::size_t concurrency() const override {
+    return workers_.size();
+  }
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 

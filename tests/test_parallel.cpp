@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/executor.hpp"
 #include "support/parallel.hpp"
 #include "support/thread_pool.hpp"
 
@@ -23,11 +24,11 @@ namespace soap::support {
 namespace {
 
 ParallelOptions with_threads(std::size_t threads, std::size_t grain = 1,
-                             ThreadPool* pool = nullptr) {
+                             Executor* executor = nullptr) {
   ParallelOptions opt;
   opt.threads = threads;
   opt.grain = grain;
-  opt.pool = pool;
+  if (executor != nullptr) opt.executor = ExecutorRef(*executor);
   return opt;
 }
 
@@ -35,6 +36,40 @@ TEST(ThreadPool, ZeroThreadsResolvesToHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ReportsItsSizeAsExecutorConcurrency) {
+  ThreadPool pool(3);
+  Executor& executor = pool;
+  EXPECT_EQ(executor.concurrency(), 3u);
+}
+
+TEST(SerialExecutorTest, RunsSubmittedTasksInlineAndReportsZeroConcurrency) {
+  SerialExecutor executor;
+  EXPECT_EQ(executor.concurrency(), 0u);
+  std::thread::id ran_on{};
+  executor.submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(SerialExecutorTest, ForcesParallelForOntoTheCallingThread) {
+  // concurrency() == 0 means no helpers are ever submitted: even with a
+  // large thread budget the loop runs inline on the caller.
+  std::set<std::thread::id> ids;
+  ParallelOptions opt;
+  opt.threads = 8;
+  opt.executor = ExecutorRef::serial();
+  parallel_for(100, opt, [&](std::size_t) {
+    ids.insert(std::this_thread::get_id());  // no lock: must be serial
+  });
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(ExecutorRefTest, DefaultResolvesToTheGlobalPool) {
+  ExecutorRef ref;
+  EXPECT_EQ(&ref.get(), &ThreadPool::global());
+  EXPECT_GE(ref.concurrency(), 1u);
 }
 
 TEST(ThreadPool, RunsSubmittedTasks) {

@@ -1,0 +1,106 @@
+// The shared CLI parsing helpers in support/parse.hpp: strict size parsing
+// and the one flag scanner behind every --threads / --max-* flag.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/parse.hpp"
+
+namespace soap::support {
+namespace {
+
+// argv scaffolding: keeps the strings alive and hands out char**.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : args_(std::move(args)) {
+    ptrs_.reserve(args_.size());
+    for (std::string& a : args_) ptrs_.push_back(a.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(ParseSizeT, AcceptsPlainDigits) {
+  EXPECT_EQ(parse_size_t("0"), std::size_t{0});
+  EXPECT_EQ(parse_size_t("42"), std::size_t{42});
+}
+
+TEST(ParseSizeT, RejectsEmptySignsGarbageAndOverflow) {
+  EXPECT_FALSE(parse_size_t(""));
+  EXPECT_FALSE(parse_size_t("-1"));
+  EXPECT_FALSE(parse_size_t("+1"));
+  EXPECT_FALSE(parse_size_t("4x"));
+  EXPECT_FALSE(parse_size_t(" 4"));
+  EXPECT_FALSE(parse_size_t("99999999999999999999999999"));
+}
+
+TEST(ConsumeSizeFlag, MatchesSeparateValueAndAdvances) {
+  Argv a({"tool", "--threads", "4", "file"});
+  std::size_t out = 0;
+  int i = 1;
+  EXPECT_EQ(consume_size_flag(a.argc(), a.argv(), i, "threads", out),
+            FlagParse::kOk);
+  EXPECT_EQ(out, 4u);
+  EXPECT_EQ(i, 2);  // consumed the value token
+}
+
+TEST(ConsumeSizeFlag, MatchesEqualsForm) {
+  Argv a({"tool", "--threads=8"});
+  std::size_t out = 0;
+  int i = 1;
+  EXPECT_EQ(consume_size_flag(a.argc(), a.argv(), i, "threads", out),
+            FlagParse::kOk);
+  EXPECT_EQ(out, 8u);
+  EXPECT_EQ(i, 1);
+}
+
+TEST(ConsumeSizeFlag, ReportsMissingOrMalformedValues) {
+  std::size_t out = 7;
+  {
+    Argv a({"tool", "--threads"});
+    int i = 1;
+    EXPECT_EQ(consume_size_flag(a.argc(), a.argv(), i, "threads", out),
+              FlagParse::kBadValue);
+  }
+  {
+    Argv a({"tool", "--threads", "abc"});
+    int i = 1;
+    EXPECT_EQ(consume_size_flag(a.argc(), a.argv(), i, "threads", out),
+              FlagParse::kBadValue);
+  }
+  {
+    Argv a({"tool", "--threads=-2"});
+    int i = 1;
+    EXPECT_EQ(consume_size_flag(a.argc(), a.argv(), i, "threads", out),
+              FlagParse::kBadValue);
+  }
+  EXPECT_EQ(out, 7u);  // out untouched on failure
+}
+
+TEST(ConsumeSizeFlag, DoesNotMatchOtherFlagsOrPrefixes) {
+  std::size_t out = 0;
+  {
+    Argv a({"tool", "--max-subgraphs", "9"});
+    int i = 1;
+    EXPECT_EQ(consume_size_flag(a.argc(), a.argv(), i, "max-subgraph-size",
+                                out),
+              FlagParse::kNoMatch);
+    EXPECT_EQ(i, 1);
+  }
+  {
+    Argv a({"tool", "file.py"});
+    int i = 1;
+    EXPECT_EQ(consume_size_flag(a.argc(), a.argv(), i, "threads", out),
+              FlagParse::kNoMatch);
+  }
+}
+
+}  // namespace
+}  // namespace soap::support

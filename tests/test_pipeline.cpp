@@ -1,0 +1,379 @@
+// The staged-pipeline subsystem (support/pipeline.*, support/executor.*):
+// ordered reduction, serial bypass and serial-executor parity, backpressure
+// bounds under a slow consumer, first/lowest-index exception cancellation,
+// and progress on starved executors.  Labeled `parallel` so the TSan CI job
+// covers it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/executor.hpp"
+#include "support/parallel.hpp"
+#include "support/pipeline.hpp"
+#include "support/thread_pool.hpp"
+
+namespace soap::support {
+namespace {
+
+PipelineOptions with_workers(std::size_t workers, Executor* executor = nullptr,
+                             std::size_t capacity = 0, std::size_t window = 0) {
+  PipelineOptions opt;
+  opt.workers = workers;
+  opt.queue_capacity = capacity;
+  opt.reorder_window = window;
+  if (executor != nullptr) opt.executor = ExecutorRef(*executor);
+  return opt;
+}
+
+// Runs the reference pipeline: produce 0..n-1, work squares, consume
+// collects (seq, value) pairs in call order.
+std::vector<std::pair<std::size_t, std::size_t>> squares(
+    std::size_t n, const PipelineOptions& options) {
+  std::vector<std::pair<std::size_t, std::size_t>> consumed;
+  run_pipeline<std::size_t>(
+      options,
+      [n](const std::function<bool(std::size_t&&)>& emit) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!emit(std::size_t(i))) return;
+        }
+      },
+      [](std::size_t&& i) { return i * i; },
+      [&](std::size_t seq, std::size_t&& value) {
+        consumed.emplace_back(seq, value);
+      });
+  return consumed;
+}
+
+TEST(Pipeline, SerialBypassProducesInOrderOnCallerThread) {
+  std::set<std::thread::id> ids;
+  std::vector<std::size_t> seqs;
+  run_pipeline<std::size_t>(
+      with_workers(1),
+      [&](const std::function<bool(std::size_t&&)>& emit) {
+        for (std::size_t i = 0; i < 64; ++i) {
+          ids.insert(std::this_thread::get_id());  // no lock: must be serial
+          EXPECT_TRUE(emit(std::size_t(i)));
+        }
+      },
+      [&](std::size_t&& i) {
+        ids.insert(std::this_thread::get_id());
+        return 3 * i;
+      },
+      [&](std::size_t seq, std::size_t&& value) {
+        ids.insert(std::this_thread::get_id());
+        EXPECT_EQ(value, 3 * seq);
+        seqs.push_back(seq);
+      });
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+  ASSERT_EQ(seqs.size(), 64u);
+  for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i);
+}
+
+TEST(Pipeline, ParallelMatchesSerialAtEveryWorkerCount) {
+  const auto serial = squares(500, with_workers(1));
+  ASSERT_EQ(serial.size(), 500u);
+  for (std::size_t workers : {2u, 4u, 8u, 0u}) {
+    EXPECT_EQ(squares(500, with_workers(workers)), serial)
+        << workers << " workers";
+  }
+}
+
+TEST(Pipeline, ConsumeSeesStrictlyIncreasingSequenceDespiteJitter) {
+  ThreadPool pool(4);
+  std::vector<std::size_t> order;
+  run_pipeline<std::size_t>(
+      with_workers(4, &pool),
+      [](const std::function<bool(std::size_t&&)>& emit) {
+        for (std::size_t i = 0; i < 200; ++i) {
+          if (!emit(std::size_t(i))) return;
+        }
+      },
+      [](std::size_t&& i) {
+        // Reverse-biased delays maximize out-of-order completion.
+        std::this_thread::sleep_for(std::chrono::microseconds(200 - i));
+        return i;
+      },
+      [&](std::size_t seq, std::size_t&& value) {
+        EXPECT_EQ(seq, value);
+        order.push_back(seq);
+      });
+  ASSERT_EQ(order.size(), 200u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Pipeline, SerialExecutorParityAtHighWorkerCount) {
+  // concurrency() == 0: the whole pipeline must run inline on the caller
+  // and still produce the canonical result.
+  SerialExecutor serial_executor;
+  const auto serial = squares(300, with_workers(1));
+  std::set<std::thread::id> ids;
+  std::vector<std::pair<std::size_t, std::size_t>> consumed;
+  run_pipeline<std::size_t>(
+      with_workers(8, &serial_executor),
+      [&](const std::function<bool(std::size_t&&)>& emit) {
+        for (std::size_t i = 0; i < 300; ++i) {
+          ids.insert(std::this_thread::get_id());
+          if (!emit(std::size_t(i))) return;
+        }
+      },
+      [&](std::size_t&& i) {
+        ids.insert(std::this_thread::get_id());
+        return i * i;
+      },
+      [&](std::size_t seq, std::size_t&& value) {
+        consumed.emplace_back(seq, value);
+      });
+  EXPECT_EQ(consumed, serial);
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+}
+
+TEST(Pipeline, BackpressureBoundsProducerLeadUnderSlowConsumer) {
+  // capacity + in-flight + reorder window is the hard ceiling on how far
+  // production can run ahead of consumption.
+  constexpr std::size_t kWorkers = 3;
+  constexpr std::size_t kCapacity = 2;
+  constexpr std::size_t kWindow = 4;
+  ThreadPool pool(kWorkers - 1);
+  std::atomic<std::size_t> produced{0};
+  std::atomic<std::size_t> consumed{0};
+  std::atomic<std::size_t> max_lead{0};
+  run_pipeline<std::size_t>(
+      with_workers(kWorkers, &pool, kCapacity, kWindow),
+      [&](const std::function<bool(std::size_t&&)>& emit) {
+        for (std::size_t i = 0; i < 100; ++i) {
+          if (!emit(std::size_t(i))) return;
+          std::size_t lead =
+              produced.fetch_add(1) + 1 - consumed.load();
+          std::size_t seen = max_lead.load();
+          while (lead > seen && !max_lead.compare_exchange_weak(seen, lead)) {
+          }
+        }
+      },
+      [](std::size_t&& i) { return i; },
+      [&](std::size_t, std::size_t&&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        consumed.fetch_add(1);
+      });
+  EXPECT_EQ(consumed.load(), 100u);
+  // produced - consumed <= queue capacity + workers in flight + held
+  // results; +1 slack for the snapshot race between the two loads.
+  EXPECT_LE(max_lead.load(), kCapacity + kWorkers + kWindow + 1);
+}
+
+TEST(Pipeline, WorkExceptionRethrowsLowestIndexOnSerialPath) {
+  try {
+    squares(100, with_workers(1));  // no throw configured: sanity
+    run_pipeline<std::size_t>(
+        with_workers(1),
+        [](const std::function<bool(std::size_t&&)>& emit) {
+          for (std::size_t i = 0; i < 100; ++i) {
+            if (!emit(std::size_t(i))) return;
+          }
+        },
+        [](std::size_t&& i) -> std::size_t {
+          if (i % 10 == 7) throw std::runtime_error("i=" + std::to_string(i));
+          return i;
+        },
+        [](std::size_t, std::size_t&&) {});
+    FAIL() << "expected the work exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "i=7");
+  }
+}
+
+TEST(Pipeline, WorkExceptionCancelsProducerAndRethrows) {
+  ThreadPool pool(3);
+  std::size_t produced = 0;
+  try {
+    run_pipeline<std::size_t>(
+        with_workers(4, &pool, /*capacity=*/2),
+        [&](const std::function<bool(std::size_t&&)>& emit) {
+          for (std::size_t i = 0; i < 100000; ++i) {
+            if (!emit(std::size_t(i))) return;
+            ++produced;
+          }
+        },
+        [](std::size_t&& i) -> std::size_t {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          if (i == 3) throw std::runtime_error("stage failure");
+          return i;
+        },
+        [](std::size_t, std::size_t&&) {});
+    FAIL() << "expected the work exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "stage failure");
+  }
+  // Cancellation must have stopped the producer long before the end.
+  EXPECT_LT(produced, 100000u);
+}
+
+TEST(Pipeline, ConsumerExceptionPropagates) {
+  for (std::size_t workers : {1u, 4u}) {
+    EXPECT_THROW(
+        run_pipeline<std::size_t>(
+            with_workers(workers),
+            [](const std::function<bool(std::size_t&&)>& emit) {
+              for (std::size_t i = 0; i < 50; ++i) {
+                if (!emit(std::size_t(i))) return;
+              }
+            },
+            [](std::size_t&& i) { return i; },
+            [](std::size_t seq, std::size_t&&) {
+              if (seq == 5) throw std::logic_error("consumer failure");
+            }),
+        std::logic_error)
+        << workers << " workers";
+  }
+}
+
+TEST(Pipeline, ProducerExceptionPropagates) {
+  for (std::size_t workers : {1u, 4u}) {
+    std::atomic<std::size_t> consumed{0};
+    EXPECT_THROW(
+        run_pipeline<std::size_t>(
+            with_workers(workers),
+            [](const std::function<bool(std::size_t&&)>& emit) {
+              for (std::size_t i = 0; i < 10; ++i) {
+                if (!emit(std::size_t(i))) return;
+              }
+              throw std::runtime_error("producer failure");
+            },
+            [](std::size_t&& i) { return i; },
+            [&](std::size_t, std::size_t&&) { consumed.fetch_add(1); }),
+        std::runtime_error)
+        << workers << " workers";
+  }
+}
+
+TEST(Pipeline, WorkErrorOutranksLaterProducerError) {
+  // The work failure at sequence 0 must win over the producer's own
+  // failure, which is ranked after everything already emitted.  The
+  // producer waits for the work failure to actually happen before throwing
+  // its own, so the outcome is deterministic.
+  ThreadPool pool(2);
+  std::atomic<bool> work_threw{false};
+  try {
+    run_pipeline<std::size_t>(
+        with_workers(2, &pool),
+        [&](const std::function<bool(std::size_t&&)>& emit) {
+          for (std::size_t i = 0; i < 5; ++i) {
+            if (!emit(std::size_t(i))) break;
+          }
+          while (!work_threw.load()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          throw std::runtime_error("producer failure");
+        },
+        [&](std::size_t&& i) -> std::size_t {
+          if (i == 0) {
+            work_threw.store(true);
+            throw std::runtime_error("work failure");
+          }
+          return i;
+        },
+        [](std::size_t, std::size_t&&) {});
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "work failure");
+  }
+}
+
+TEST(Pipeline, StarvedPoolDegradesToCallerWithoutDeadlock) {
+  // The pool's only worker is pinned; the caller must drain the whole
+  // pipeline itself (a deadlock shows up as the CTest timeout).
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  const auto result = squares(100, with_workers(4, &pool));
+  EXPECT_EQ(result, squares(100, with_workers(1)));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+TEST(Pipeline, NestedPipelinesInsideParallelForOnOnePool) {
+  // The corpus-batch shape: an outer parallel_for whose body runs an inner
+  // pipeline on the same 1-worker pool.
+  ThreadPool pool(1);
+  ParallelOptions outer;
+  outer.threads = 4;
+  outer.executor = ExecutorRef(pool);
+  std::atomic<std::size_t> total{0};
+  parallel_for(4, outer, [&](std::size_t) {
+    std::size_t local = 0;
+    run_pipeline<std::size_t>(
+        with_workers(4, &pool),
+        [](const std::function<bool(std::size_t&&)>& emit) {
+          for (std::size_t i = 0; i < 8; ++i) {
+            if (!emit(std::size_t(i))) return;
+          }
+        },
+        [](std::size_t&& i) { return i; },
+        [&](std::size_t, std::size_t&& v) { local += v; });
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), 4u * (8u * 7u / 2));
+}
+
+TEST(Pipeline, ZeroItemsNeverCallsWorkOrConsume) {
+  for (std::size_t workers : {1u, 4u}) {
+    bool touched = false;
+    run_pipeline<int>(
+        with_workers(workers),
+        [](const std::function<bool(int&&)>&) {},
+        [&](int&& v) {
+          touched = true;
+          return v;
+        },
+        [&](std::size_t, int&&) { touched = true; });
+    EXPECT_FALSE(touched) << workers << " workers";
+  }
+}
+
+TEST(Pipeline, MoveOnlyItemsAndResultsFlowThrough) {
+  for (std::size_t workers : {1u, 4u}) {
+    std::size_t sum = 0;
+    run_pipeline<std::unique_ptr<std::size_t>>(
+        with_workers(workers),
+        [](const std::function<bool(std::unique_ptr<std::size_t>&&)>& emit) {
+          for (std::size_t i = 0; i < 32; ++i) {
+            if (!emit(std::make_unique<std::size_t>(i))) return;
+          }
+        },
+        [](std::unique_ptr<std::size_t>&& p) {
+          return std::make_unique<std::size_t>(*p * 2);
+        },
+        [&](std::size_t, std::unique_ptr<std::size_t>&& p) { sum += *p; });
+    EXPECT_EQ(sum, 2u * (32u * 31u / 2)) << workers << " workers";
+  }
+}
+
+TEST(Pipeline, RepeatedRunsOnTheGlobalPoolAreStable) {
+  const auto serial = squares(256, with_workers(1));
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_EQ(squares(256, with_workers(1 + round % 8)), serial)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace soap::support

@@ -208,6 +208,45 @@ TEST(Sdg, StreamingLevelsMatchMaterializedEnumeration) {
   EXPECT_EQ(streamed, enumerate_subgraphs(g, 4));
 }
 
+TEST(Sdg, PerSubgraphStreamingMatchesMaterializedEnumeration) {
+  // The pipelined producer: one subset per sink call, canonical order
+  // (by cardinality, then generation order).
+  Program p = figure2();
+  Sdg g = Sdg::build(p);
+  std::vector<std::vector<std::string>> streamed;
+  std::size_t last_size = 0;
+  for_each_subgraph(g, 4, 100000, [&](std::vector<std::string>&& names) {
+    EXPECT_GE(names.size(), last_size);  // never shrinks: level order
+    last_size = names.size();
+    streamed.push_back(std::move(names));
+    return true;
+  });
+  EXPECT_EQ(streamed, enumerate_subgraphs(g, 4));
+}
+
+TEST(Sdg, StreamingSinkCanStopEnumerationEarly) {
+  std::string src;
+  std::string prev = "a0";
+  for (int i = 1; i <= 12; ++i) {
+    std::string cur = "a" + std::to_string(i);
+    src += "for i in range(N):\n  " + cur + "[i] = " + prev + "[i]\n";
+    prev = cur;
+  }
+  Program p = frontend::parse_program(src);
+  Sdg g = Sdg::build(p);
+  auto all = enumerate_subgraphs(g, 3);
+  ASSERT_GT(all.size(), 5u);
+  std::vector<std::vector<std::string>> taken;
+  for_each_subgraph(g, 3, 100000, [&](std::vector<std::string>&& names) {
+    taken.push_back(std::move(names));
+    return taken.size() < 5;  // stop after the fifth subset
+  });
+  ASSERT_EQ(taken.size(), 5u);
+  for (std::size_t i = 0; i < taken.size(); ++i) {
+    EXPECT_EQ(taken[i], all[i]) << i;
+  }
+}
+
 TEST(Sdg, EnumerationStopsExactlyAtMaxCount) {
   std::string src;
   std::string prev = "a0";

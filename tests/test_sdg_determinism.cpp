@@ -1,10 +1,12 @@
-// Cross-thread-count determinism of the sharded SDG pipeline: for every
-// Table 2 corpus application the full MultiStatementBound — Q renderings,
-// per-array rho expressions and reference values (compared bit-exactly),
-// best subgraphs, and subgraph counts — must be identical for threads =
-// 1 / 2 / 8 / 0(hardware).  Expr comparisons use operator==, which under
-// hash-consing is pointer identity: the strongest possible "bit-identical"
-// statement within a run.  Labeled `parallel` for the TSan CI job.
+// Cross-thread-count and cross-schedule determinism of the SDG analysis:
+// for every Table 2 corpus application the full MultiStatementBound — Q
+// renderings, per-array rho expressions and reference values (compared
+// bit-exactly), best subgraphs, and subgraph counts — must be identical
+// for threads = 1 / 2 / 8 / 0(hardware), AND identical between the staged
+// pipeline (default) and the level-synchronous reference schedule it
+// replaced.  Expr comparisons use operator==, which under hash-consing is
+// pointer identity: the strongest possible "bit-identical" statement
+// within a run.  Labeled `parallel` for the TSan CI job.
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -15,6 +17,8 @@
 #include "frontend/lower.hpp"
 #include "kernels/table2.hpp"
 #include "sdg/multi_statement.hpp"
+#include "support/executor.hpp"
+#include "support/thread_pool.hpp"
 
 namespace soap::sdg {
 namespace {
@@ -58,8 +62,10 @@ struct Snapshot {
 };
 
 Snapshot snapshot(const Program& program, SdgOptions options,
-                  std::size_t threads) {
+                  std::size_t threads,
+                  SdgSchedule schedule = SdgSchedule::kPipelined) {
   options.threads = threads;
+  options.schedule = schedule;
   auto bound = multi_statement_bound(program, options);
   Snapshot s;
   if (!bound) return s;
@@ -109,6 +115,23 @@ TEST_P(CorpusDeterminism, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST_P(CorpusDeterminism, PipelinedMatchesLevelSyncAtEveryThreadCount) {
+  // The acceptance bar of the pipeline refactor: the staged pipeline must
+  // reproduce the level-synchronous schedule's MultiStatementBound bit for
+  // bit at every thread count (pointer-identical Exprs, bit-exact doubles).
+  const kernels::KernelEntry& k = kernels::kernel_by_name(GetParam());
+  Program program = k.build();
+  Snapshot oracle = snapshot(program, k.options, 1, SdgSchedule::kLevelSync);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                              std::size_t{0}}) {
+    Snapshot pipelined =
+        snapshot(program, k.options, threads, SdgSchedule::kPipelined);
+    expect_identical(oracle, pipelined,
+                     k.name + " pipelined @" + std::to_string(threads) +
+                         " threads vs level-sync");
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Table2, CorpusDeterminism,
                          ::testing::ValuesIn(corpus_names()),
                          [](const ::testing::TestParamInfo<std::string>& i) {
@@ -151,6 +174,33 @@ TEST(SdgDeterminism, AnalyzeKernelThreadOverrideMatchesSerial) {
     sym::Expr serial = kernels::analyze_kernel(k);
     EXPECT_EQ(kernels::analyze_kernel(k, 8), serial) << name;
     EXPECT_EQ(kernels::analyze_kernel(k, 0), serial) << name;
+  }
+}
+
+TEST(SdgDeterminism, InjectedExecutorsDoNotChangeTheBound) {
+  // SdgOptions::executor swaps where helpers run; the bound must not care.
+  Program p = frontend::parse_program(R"(
+for i in range(M):
+  for j in range(N):
+    tmp[i] += A[i,j] * x[j]
+for i in range(M):
+  for j in range(N):
+    y[j] += A[i,j] * tmp[i]
+)");
+  SdgOptions opt;
+  Snapshot serial = snapshot(p, opt, 1);
+  {
+    support::ThreadPool private_pool(2);
+    SdgOptions with_pool;
+    with_pool.threads = 8;
+    with_pool.executor = support::ExecutorRef(private_pool);
+    expect_identical(serial, snapshot(p, with_pool, 8), "private pool");
+  }
+  {
+    SdgOptions inline_only;
+    inline_only.threads = 8;
+    inline_only.executor = support::ExecutorRef::serial();
+    expect_identical(serial, snapshot(p, inline_only, 8), "serial executor");
   }
 }
 
