@@ -29,28 +29,28 @@ inline void print_row(const kernels::KernelEntry& k, const sym::Expr& ours) {
   }
 }
 
-/// Analyzes one Table 2 category as a batch of (kernel x subgraph-shard)
+/// Analyzes one registry family as a batch of (kernel x subgraph-shard)
 /// work items (`threads` executors; default 1 = serial): kernels are
 /// claimed concurrently and each kernel's inner analysis pipeline shards
-/// its subgraphs across the same executor, so the category's longest
+/// its subgraphs across the same executor, so the family's longest
 /// kernel no longer serializes the tail.  The bounds land in per-kernel
-/// slots and the table is printed afterwards in corpus order, so the
-/// output is byte-identical for every thread count.
-inline int run_category(const char* title, const std::string& category,
-                        int max_rows = -1, std::size_t threads = 1) {
+/// slots and the table is printed afterwards in registry order, so the
+/// output is byte-identical for every thread count.  Returns non-zero for
+/// an unknown (empty) family so a driver typo fails loudly.
+inline int run_family(const char* title, const std::string& family,
+                      int max_rows = -1, std::size_t threads = 1) {
   print_header(title);
-  std::vector<const kernels::KernelEntry*> rows;
-  for (const auto& k : kernels::table2_kernels()) {
-    if (k.category != category) continue;
-    if (max_rows >= 0 && static_cast<int>(rows.size()) >= max_rows) break;
-    rows.push_back(&k);
+  std::vector<const kernels::KernelEntry*> rows =
+      kernels::Registry::instance().family(family);
+  if (rows.empty()) {
+    std::printf("unknown kernel family '%s'\n", family.c_str());
+    return 1;
   }
-  support::ParallelOptions par;
-  par.threads = threads;
-  std::vector<sym::Expr> bounds = support::parallel_map<sym::Expr>(
-      rows.size(), par, [&rows, threads](std::size_t i) {
-        return kernels::analyze_kernel(*rows[i], threads);
-      });
+  if (max_rows >= 0 && rows.size() > static_cast<std::size_t>(max_rows)) {
+    rows.resize(static_cast<std::size_t>(max_rows));
+  }
+  std::vector<sym::Expr> bounds =
+      kernels::analyze_corpus(rows, threads);
   for (std::size_t i = 0; i < rows.size(); ++i) print_row(*rows[i], bounds[i]);
   std::printf("%zu applications analyzed.\n", rows.size());
   return 0;

@@ -1,0 +1,31 @@
+// Experiment corpus-fam: the registered corpus beyond the fixed Table 2
+// blocks, printed family by family.  `--family NAME` restricts to one
+// registry family (the Table 2 drivers remain the published three); by
+// default every registered family is printed in registry order, so a
+// newly registered family shows up here with no driver change.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace soap;
+  bool smoke = bench::smoke_requested(argc, argv);
+  std::size_t threads = bench::threads_requested(argc, argv);
+  std::string family = bench::family_requested(argc, argv);
+  int max_rows = smoke ? 1 : -1;
+  if (!family.empty()) {
+    return bench::run_family(
+        ("Corpus / " + family + ": I/O lower bounds").c_str(), family,
+        max_rows, threads);
+  }
+  int rc = 0;
+  for (const std::string& fam : kernels::Registry::instance().families()) {
+    rc |= bench::run_family(("Corpus / " + fam + ": I/O lower bounds").c_str(),
+                            fam, max_rows, threads);
+  }
+  std::printf("\n%zu kernels registered across %zu families.\n",
+              kernels::Registry::instance().size(),
+              kernels::Registry::instance().families().size());
+  return rc;
+}

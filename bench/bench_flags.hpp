@@ -41,4 +41,24 @@ inline std::size_t threads_requested(int argc, char** argv,
   return fallback;
 }
 
+/// Registry family filter from `--family NAME` / `--family=NAME`;
+/// `fallback` (typically the driver's own family, or "" for all families)
+/// when the flag is absent or malformed — same silent-fallback policy as
+/// threads_requested, so bench drivers never exit on a flag typo.
+inline std::string family_requested(int argc, char** argv,
+                                    std::string fallback = "") {
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    switch (support::consume_string_flag(argc, argv, i, "family", value)) {
+      case support::FlagParse::kOk:
+        return value;
+      case support::FlagParse::kBadValue:
+        return fallback;
+      case support::FlagParse::kNoMatch:
+        break;
+    }
+  }
+  return fallback;
+}
+
 }  // namespace soap::bench

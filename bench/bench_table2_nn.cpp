@@ -41,7 +41,7 @@ for b in range(B):
 
 int main(int argc, char** argv) {
   bool smoke = soap::bench::smoke_requested(argc, argv);
-  int r = soap::bench::run_category(
+  int r = soap::bench::run_family(
       "Table 2 / Neural networks: I/O lower bounds", "neural", smoke ? 1 : -1,
       soap::bench::threads_requested(argc, argv));
   if (!smoke) conv_conditional_intensities();

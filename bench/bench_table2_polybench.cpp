@@ -2,7 +2,7 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return soap::bench::run_category(
+  return soap::bench::run_family(
       "Table 2 / Polybench: I/O lower bounds (leading-order terms)",
       "polybench", soap::bench::smoke_requested(argc, argv) ? 1 : -1,
       soap::bench::threads_requested(argc, argv));

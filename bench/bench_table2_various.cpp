@@ -2,7 +2,7 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-  return soap::bench::run_category(
+  return soap::bench::run_family(
       "Table 2 / Various: first I/O lower bounds beyond the polyhedral model",
       "various", soap::bench::smoke_requested(argc, argv) ? 1 : -1,
       soap::bench::threads_requested(argc, argv));

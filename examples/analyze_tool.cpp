@@ -1,5 +1,6 @@
 // The open-source tool of the paper's abstract: derives I/O lower bounds
-// directly from provided C (or Python-style) code.
+// directly from provided C (or Python-style) code, and enumerates the
+// registered kernel corpus.
 //
 //   soap_analyze [file]                  # reads the program from a file or
 //                                        # stdin
@@ -15,6 +16,12 @@
 //                                        # analysis)
 //   soap_analyze --max-subgraphs N       # cap on the number of enumerated
 //                                        # subgraphs
+//   soap_analyze --list-kernels          # list the registered corpus
+//                                        # (family, name, problem sizes)
+//   soap_analyze --corpus                # analyze every registered kernel
+//                                        # with its recorded configuration
+//   soap_analyze --family NAME           # restrict --corpus to one family
+//                                        # (implies --corpus)
 //
 // Any malformed flag value or unknown option prints the usage message and
 // exits non-zero.
@@ -25,6 +32,7 @@
 #include <string>
 
 #include "frontend/lower.hpp"
+#include "kernels/table2.hpp"
 #include "sdg/multi_statement.hpp"
 #include "sdg/sdg.hpp"
 #include "soap/program.hpp"
@@ -36,9 +44,61 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sdg] [--threads N] [--max-subgraph-size N] "
                "[--max-subgraphs N] [file]\n"
+               "       %s --list-kernels | --corpus | --family NAME "
+               "[--threads N]\n"
                "  reads the program from [file], or stdin when omitted\n",
-               argv0);
+               argv0, argv0);
   return 2;
+}
+
+// --list-kernels: the registered corpus, one kernel per line, grouped by
+// family in registry order.  The format is line-oriented on purpose so CI
+// can grep it (see .github/workflows/ci.yml).
+int list_kernels() {
+  using namespace soap;
+  const kernels::Registry& registry = kernels::Registry::instance();
+  for (const std::string& family : registry.families()) {
+    for (const kernels::KernelEntry* k : registry.family(family)) {
+      std::string sizes;
+      for (const std::string& s : k->problem_sizes) {
+        if (!sizes.empty()) sizes += ",";
+        sizes += s;
+      }
+      std::printf("%-16s %-22s %s\n", family.c_str(), k->name.c_str(),
+                  sizes.c_str());
+    }
+  }
+  std::printf("%zu kernels in %zu families\n", registry.size(),
+              registry.families().size());
+  return 0;
+}
+
+// --corpus / --family: analyze registered kernels with their recorded
+// engine configuration (batched across `threads` workers; the bounds are
+// bit-identical for every thread count) and report each derived bound
+// next to its reference.
+int run_corpus(const std::string& family, std::size_t threads) {
+  using namespace soap;
+  const kernels::Registry& registry = kernels::Registry::instance();
+  std::vector<const kernels::KernelEntry*> rows;
+  if (family.empty()) {
+    for (const kernels::KernelEntry& k : registry.kernels()) {
+      rows.push_back(&k);
+    }
+  } else {
+    rows = registry.family(family);
+    if (rows.empty()) {
+      std::fprintf(stderr, "unknown kernel family '%s'\n", family.c_str());
+      return 1;
+    }
+  }
+  std::vector<sym::Expr> bounds = kernels::analyze_corpus(rows, threads);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-16s %-22s Q >= %s\n", rows[i]->family.c_str(),
+                rows[i]->name.c_str(), bounds[i].str().c_str());
+  }
+  std::printf("%zu kernels analyzed\n", rows.size());
+  return 0;
 }
 
 }  // namespace
@@ -46,6 +106,9 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace soap;
   bool dump_sdg = false;
+  bool list = false;
+  bool corpus = false;
+  std::string family;
   std::string path;
   sdg::SdgOptions options;
   // Strict parse (support::consume_size_flag): a typo must not dial the
@@ -66,6 +129,24 @@ int main(int argc, char** argv) {
     if (arg == "--sdg") {
       dump_sdg = true;
       continue;
+    }
+    if (arg == "--list-kernels") {
+      list = true;
+      continue;
+    }
+    if (arg == "--corpus") {
+      corpus = true;
+      continue;
+    }
+    switch (support::consume_string_flag(argc, argv, i, "family", family)) {
+      case support::FlagParse::kOk:
+        corpus = true;
+        continue;
+      case support::FlagParse::kBadValue:
+        std::fprintf(stderr, "invalid or missing value for --family\n");
+        return usage(argv[0]);
+      case support::FlagParse::kNoMatch:
+        break;
     }
     bool matched = false;
     for (const SizeFlag& flag : size_flags) {
@@ -95,6 +176,27 @@ int main(int argc, char** argv) {
     }
     path = arg;
   }
+  if ((list || corpus) && !path.empty()) {
+    std::fprintf(stderr, "--list-kernels/--corpus take no input file\n");
+    return usage(argv[0]);
+  }
+  // The corpus modes analyze each kernel with its *recorded* engine
+  // configuration (that is what the golden bounds are pinned against), so
+  // the per-program knobs cannot apply there; accepting and ignoring them
+  // would break this tool's strict-flag contract.
+  const sdg::SdgOptions defaults;
+  if ((list || corpus) &&
+      (dump_sdg ||
+       options.max_subgraph_size != defaults.max_subgraph_size ||
+       options.max_subgraphs != defaults.max_subgraphs)) {
+    std::fprintf(stderr,
+                 "--sdg/--max-subgraph-size/--max-subgraphs do not apply to "
+                 "--list-kernels/--corpus (kernels use their recorded "
+                 "configuration; only --threads applies)\n");
+    return usage(argv[0]);
+  }
+  if (list) return list_kernels();
+  if (corpus) return run_corpus(family, options.threads);
   std::string source;
   if (path.empty()) {
     std::ostringstream ss;

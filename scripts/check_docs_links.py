@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Link-checks the repo's markdown docs.
+
+Scans README.md and docs/*.md for markdown links and validates every
+intra-repo target:
+
+  * relative links must resolve to an existing file or directory
+    (anchors `#...` are stripped; pure-anchor links are checked against
+    the headings of the containing file);
+  * absolute URLs (http/https/mailto) are skipped — CI must not depend
+    on the network;
+  * bare `file.md` references inside inline code spans are ignored.
+
+Exit code 0 when every link resolves, 1 otherwise (each broken link is
+reported as `file:line: target`).  Run from anywhere:
+
+  python3 scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$")
+
+
+def heading_anchor(text: str) -> str:
+    """GitHub-style anchor: lowercase, spaces to dashes, drop punctuation."""
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(heading_anchor(m.group(1)))
+    return anchors
+
+
+def check_file(md: Path, repo: Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(
+        md.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # same-file anchor
+                if anchor and heading_anchor(anchor) not in anchors_of(md):
+                    errors.append(f"{md.relative_to(repo)}:{lineno}: #{anchor}")
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(repo)}:{lineno}: {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if heading_anchor(anchor) not in anchors_of(resolved):
+                    errors.append(
+                        f"{md.relative_to(repo)}:{lineno}: {target} "
+                        f"(missing anchor)"
+                    )
+    return errors
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    files = [repo / "README.md"] + sorted((repo / "docs").glob("*.md"))
+    files = [f for f in files if f.exists()]
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, repo))
+    for e in errors:
+        print(f"broken link: {e}", file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,11 +55,28 @@ Affine to_affine(const AstExprPtr& e, int line) {
   fail("bad expression", line);
 }
 
+bool contains_ref(const AstExprPtr& e) {
+  if (e->kind == AstExpr::Kind::kRef) return true;
+  for (const AstExprPtr& a : e->args) {
+    if (contains_ref(a)) return true;
+  }
+  return false;
+}
+
+// A subscript that itself reads an array (`x[colind[i,k]]`) is
+// data-dependent: no affine form describes which element of `x` an
+// iteration touches.  For a *lower* bound the sound model is adversarial
+// reuse — the index stream may address a single element — so the
+// data-dependent subscript collapses to one representative location
+// (affine 0) and contributes no mandatory traffic for the gathered array,
+// while the index array itself (`colind`, an ordinary affine access) is
+// charged in full as a read (collect_refs below descends into subscripts).
 AccessComponent to_component(const AstExprPtr& ref, int line) {
   AccessComponent comp;
   comp.index.reserve(ref->args.size());
   for (const AstExprPtr& sub : ref->args) {
-    comp.index.push_back(to_affine(sub, line));
+    comp.index.push_back(contains_ref(sub) ? Affine(0)
+                                           : to_affine(sub, line));
   }
   return comp;
 }
@@ -67,9 +84,8 @@ AccessComponent to_component(const AstExprPtr& ref, int line) {
 void collect_refs(const AstExprPtr& e, std::vector<AstExprPtr>* out) {
   if (e->kind == AstExpr::Kind::kRef) {
     out->push_back(e);
-    // Subscripts may not contain refs (checked by to_affine), so no recursion
-    // into them is needed; still recurse defensively for diagnostics.
-    return;
+    // Data-dependent subscripts nest further refs (the index arrays of a
+    // gather/scatter); they are reads like any other.
   }
   for (const AstExprPtr& a : e->args) collect_refs(a, out);
 }
@@ -96,6 +112,9 @@ struct LoweringState {
     collect_refs(item->rhs, &refs);
     // Update operators read the output location too.
     if (item->assign_op != "=") refs.push_back(item->lhs);
+    // Index arrays of a data-dependent store (`y[rowind[k]] = ...`) are
+    // read to compute the address even when the op is a plain `=`.
+    for (const AstExprPtr& sub : item->lhs->args) collect_refs(sub, &refs);
 
     for (const AstExprPtr& ref : refs) {
       AccessComponent comp = to_component(ref, item->line);

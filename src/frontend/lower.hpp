@@ -10,9 +10,14 @@ namespace soap::frontend {
 
 /// Lowers a parsed loop-nest program to a SOAP Program:
 ///   * every assignment becomes one Statement enclosed in its loop stack,
-///   * array subscripts are converted to affine forms (non-affine subscripts
-///     are rejected with a diagnostic; use the programmatic API plus the
-///     Section 5.3 hints for those),
+///   * array subscripts are converted to affine forms (non-affine
+///     arithmetic is rejected with a diagnostic; use the programmatic API
+///     plus the Section 5.3 hints for those),
+///   * a data-dependent subscript — one that reads an array, as in the
+///     gather `x[colind[i,k]]` — collapses to a single representative
+///     location (sound for lower bounds: an adversarial index stream can
+///     address one element), and the index array becomes an ordinary
+///     affine read charged in full,
 ///   * an update operator (`+=` etc.) or a re-read of the output array adds
 ///     the output to the statement's inputs (input-output overlap).
 Program lower(const AstProgram& ast);

@@ -35,9 +35,8 @@ std::vector<KernelEntry> neural_kernels() {
     // overlap case (2) with its conditional intensity, mirroring Example 6.
     KernelEntry k;
     k.name = "conv";
-    k.category = "neural";
-    k.build = [] {
-      return frontend::parse_program(R"(
+    k.family = "neural";
+    set_dsl_source(k, R"(
 for b in range(B):
   for c in range(Cin):
     for k in range(Cout):
@@ -47,7 +46,6 @@ for b in range(B):
             for s in range(Wker):
               Out[k,h,w,b] += Img[r + 7*h, s + 7*w, c, b] * F[k,r,s,c]
 )");
-    };
     Expr bound = Expr(2) * B * Cin * Cout * Hout * Wout * Hker * Wker /
                  sym::sqrt(S());
     k.paper_bound = bound;
@@ -65,9 +63,8 @@ for b in range(B):
     // (row max, shifted exp, row sum, normalize).
     KernelEntry k;
     k.name = "softmax";
-    k.category = "neural";
-    k.build = [] {
-      return frontend::parse_program(R"(
+    k.family = "neural";
+    set_dsl_source(k, R"(
 for b in range(B):
   for h in range(H):
     for m in range(M):
@@ -89,7 +86,6 @@ for b in range(B):
       for n in range(N):
         out[b,h,m,n] = e[b,h,m,n] / sm[b,h,m]
 )");
-    };
     Expr bound = Expr(4) * sy("B") * sy("H") * sy("M") * sy("N");
     k.paper_bound = bound;
     k.expected_bound = bound;
@@ -106,9 +102,8 @@ for b in range(B):
     // MLP: three dense layers  inp -> fc1 -> fc2 -> out over batch Nb.
     KernelEntry k;
     k.name = "mlp";
-    k.category = "neural";
-    k.build = [] {
-      return frontend::parse_program(R"(
+    k.family = "neural";
+    set_dsl_source(k, R"(
 for n in range(Nb):
   for j in range(F1):
     for k in range(Inp):
@@ -122,7 +117,6 @@ for n in range(Nb):
     for k in range(F2):
       o[n,j] += h2[n,k] * W3[k,j]
 )");
-    };
     Expr Nb = sy("Nb"), F1 = sy("F1"), F2 = sy("F2"), Inp = sy("Inp"),
          Outd = sy("Outd");
     Expr bound =
@@ -141,9 +135,8 @@ for n in range(Nb):
     // its pooling-stride sub-case analysis (EXPERIMENTS.md).
     KernelEntry k;
     k.name = "lenet5";
-    k.category = "neural";
-    k.build = [] {
-      return frontend::parse_program(R"(
+    k.family = "neural";
+    set_dsl_source(k, R"(
 for n in range(N):
   for c in range(C):
     for k in range(6):
@@ -153,7 +146,6 @@ for n in range(N):
             for s in range(5):
               Out[k,h,w,n] += Img[r + 5*h, s + 5*w, c, n] * F[k,r,s,c]
 )");
-    };
     Expr C = sy("C"), H = sy("H"), N = sy("N"), W = sy("W");
     k.paper_bound = Expr(300) * sym::sqrt(Expr(2)) * C * H * N * W /
                     sym::sqrt(S());
@@ -171,9 +163,8 @@ for n in range(N):
     // exactly the paper's 4 B H P L (L + 2 H P) / sqrt(S) with E = H P.
     KernelEntry k;
     k.name = "bert_encoder";
-    k.category = "neural";
-    k.build = [] {
-      return frontend::parse_program(R"(
+    k.family = "neural";
+    set_dsl_source(k, R"(
 for b in range(B):
   for l in range(L):
     for h in range(H):
@@ -211,7 +202,6 @@ for b in range(B):
         for e in range(E):
           O[b,l,e] += Ctx[b,l,h,p] * WO[e,h,p]
 )");
-    };
     Expr Bb = sy("B"), H = sy("H"), P = sy("P"), L = sy("L"), E = sy("E");
     Expr bound = (Expr(4) * Bb * H * P * L * L +
                   Expr(8) * Bb * L * H * P * E) /
@@ -230,5 +220,11 @@ for b in range(B):
 
   return v;
 }
+
+void force_link_neural_family() {}
+
+namespace {
+const FamilyRegistrar neural_registrar{"neural", 1, &neural_kernels};
+}  // namespace
 
 }  // namespace soap::kernels

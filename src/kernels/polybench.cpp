@@ -23,10 +23,8 @@ KernelEntry src(std::string name, std::string source, Expr paper,
                 sdg::SdgOptions options = {}, std::string notes = "") {
   KernelEntry k;
   k.name = std::move(name);
-  k.category = "polybench";
-  k.build = [source = std::move(source)] {
-    return frontend::parse_program(source);
-  };
+  k.family = "polybench";
+  set_dsl_source(k, std::move(source));
   k.paper_bound = std::move(paper);
   k.expected_bound = std::move(expected);
   k.sota = std::move(sota);
@@ -394,5 +392,12 @@ for i in range(N):
 
   return v;
 }
+
+void force_link_polybench_family() {}
+
+namespace {
+const FamilyRegistrar polybench_registrar{"polybench", 0,
+                                          &polybench_kernels};
+}  // namespace
 
 }  // namespace soap::kernels

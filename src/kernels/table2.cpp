@@ -6,14 +6,15 @@
 
 namespace soap::kernels {
 
-const std::vector<KernelEntry>& table2_kernels() {
-  static const std::vector<KernelEntry> all = [] {
-    std::vector<KernelEntry> v = polybench_kernels();
-    for (auto& k : neural_kernels()) v.push_back(std::move(k));
-    for (auto& k : various_kernels()) v.push_back(std::move(k));
-    return v;
-  }();
-  return all;
+std::vector<const KernelEntry*> table2_kernels() {
+  // The published blocks, in published order; registry family ranks 0..2
+  // keep this stable no matter how many families register after them.
+  std::vector<const KernelEntry*> rows;
+  const Registry& registry = Registry::instance();
+  for (const char* family : {"polybench", "neural", "various"}) {
+    for (const KernelEntry* k : registry.family(family)) rows.push_back(k);
+  }
+  return rows;
 }
 
 sym::Expr analyze_kernel(const KernelEntry& entry) {
@@ -35,7 +36,16 @@ sym::Expr analyze_kernel(const KernelEntry& entry, std::size_t threads,
 
 std::vector<sym::Expr> analyze_corpus(std::size_t threads,
                                       support::ExecutorRef executor) {
-  const std::vector<KernelEntry>& kernels = table2_kernels();
+  std::vector<const KernelEntry*> all;
+  for (const KernelEntry& k : Registry::instance().kernels()) {
+    all.push_back(&k);
+  }
+  return analyze_corpus(all, threads, executor);
+}
+
+std::vector<sym::Expr> analyze_corpus(
+    const std::vector<const KernelEntry*>& kernels, std::size_t threads,
+    support::ExecutorRef executor) {
   support::ParallelOptions par;
   par.threads = threads;
   par.executor = executor;
@@ -48,15 +58,12 @@ std::vector<sym::Expr> analyze_corpus(std::size_t threads,
   // and per-kernel determinism makes the nesting invisible in the output.
   return support::parallel_map<sym::Expr>(
       kernels.size(), par, [&kernels, threads, executor](std::size_t i) {
-        return analyze_kernel(kernels[i], threads, executor);
+        return analyze_kernel(*kernels[i], threads, executor);
       });
 }
 
 const KernelEntry& kernel_by_name(const std::string& name) {
-  for (const KernelEntry& k : table2_kernels()) {
-    if (k.name == name) return k;
-  }
-  throw std::out_of_range("unknown kernel: " + name);
+  return Registry::instance().at(name);
 }
 
 }  // namespace soap::kernels

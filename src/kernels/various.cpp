@@ -47,8 +47,8 @@ std::vector<KernelEntry> various_kernels() {
   {
     KernelEntry k;
     k.name = "lulesh";
-    k.category = "various";
-    k.build = [] { return frontend::parse_program(lulesh_source()); };
+    k.family = "various";
+    set_dsl_source(k, lulesh_source());
     Expr bound = Expr(22) * sy("numElem");
     k.paper_bound = bound;
     k.expected_bound = bound;
@@ -68,9 +68,8 @@ std::vector<KernelEntry> various_kernels() {
     // accounting, exactly the recomputation argument of the paper).
     KernelEntry k;
     k.name = "horizontal_diffusion";
-    k.category = "various";
-    k.build = [] {
-      return frontend::parse_program(R"(
+    k.family = "various";
+    set_dsl_source(k, R"(
 for i in range(1, I - 1):
   for j in range(1, J - 1):
     for k in range(K):
@@ -88,7 +87,6 @@ for i in range(1, I - 1):
     for k in range(K):
       outf[i,j,k] = inf[i,j,k] - flx[i,j,k] + flx[i-1,j,k] - fly[i,j,k] + fly[i,j-1,k]
 )");
-    };
     Expr bound = Expr(2) * sy("I") * sy("J") * sy("K");
     k.paper_bound = bound;
     k.expected_bound = bound;
@@ -104,9 +102,8 @@ for i in range(1, I - 1):
     // velocity tensor is stored: 5 I J K.
     KernelEntry k;
     k.name = "vertical_advection";
-    k.category = "various";
-    k.build = [] {
-      return frontend::parse_program(R"(
+    k.family = "various";
+    set_dsl_source(k, R"(
 for i in range(I):
   for j in range(J):
     for k in range(1, K):
@@ -128,7 +125,6 @@ for i in range(I):
     for k in range(K):
       utens[i,j,k] = ustage[i,j,k] + utensin[i,j,k]
 )");
-    };
     Expr bound = Expr(5) * sy("I") * sy("J") * sy("K");
     k.paper_bound = bound;
     k.expected_bound = bound;
@@ -140,5 +136,11 @@ for i in range(I):
 
   return v;
 }
+
+void force_link_various_family() {}
+
+namespace {
+const FamilyRegistrar various_registrar{"various", 2, &various_kernels};
+}  // namespace
 
 }  // namespace soap::kernels

@@ -55,4 +55,28 @@ inline FlagParse consume_size_flag(int argc, char** argv, int& i,
   return FlagParse::kOk;
 }
 
+/// Matches `--<name> V` (advancing `i` past the value token) or
+/// `--<name>=V` at argv[i] and stores the raw value.  An empty value
+/// (`--family=` or a missing token) is kBadValue, so callers never see ""
+/// where a name was required.  String sibling of consume_size_flag, shared
+/// by the `--family` filters of the bench drivers and analyze_tool.
+inline FlagParse consume_string_flag(int argc, char** argv, int& i,
+                                     const std::string& name,
+                                     std::string& out) {
+  const std::string flag = "--" + name;
+  const std::string arg = argv[i];
+  std::string value;
+  if (arg == flag) {
+    if (i + 1 >= argc) return FlagParse::kBadValue;
+    value = argv[++i];
+  } else if (arg.rfind(flag + "=", 0) == 0) {
+    value = arg.substr(flag.size() + 1);
+  } else {
+    return FlagParse::kNoMatch;
+  }
+  if (value.empty()) return FlagParse::kBadValue;
+  out = std::move(value);
+  return FlagParse::kOk;
+}
+
 }  // namespace soap::support

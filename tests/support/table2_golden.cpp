@@ -25,6 +25,27 @@ std::vector<GoldenRow> build_rows() {
   // Various: LULESH, 22 numElem — first bound for this application, flat in
   // S at leading order.
   rows.push_back({"lulesh", Expr(22) * sy("numElem")});
+  // Attention (post-paper family): single-head softmax attention — the two
+  // L x L x D contractions at 2 B L^2 D/sqrt(S) each; the four softmax
+  // passes are a polynomial degree below leading order.
+  rows.push_back({"attention", Expr(4) * sy("B") * sy("L") * sy("L") *
+                                   sy("D") / sym::sqrt(S)});
+  // Attention: multi-query attention — H query heads over a shared K/V
+  // head keep the per-head contraction term.
+  rows.push_back({"mqa", Expr(4) * sy("B") * sy("H") * sy("L") * sy("L") *
+                             sy("P") / sym::sqrt(S)});
+  // Attention: flash-style fused accounting — softmax intermediates fuse
+  // away, the contraction terms survive.
+  rows.push_back({"flash_attention", Expr(4) * sy("B") * sy("L") * sy("L") *
+                                         sy("D") / sym::sqrt(S)});
+  // Sparse/stencil (post-paper family): CSR SpMV in the uniform-row model
+  // (M rows, K stored entries per row): the two nnz-sized streams val and
+  // colind, with the data-dependent x gather collapsed to the adversarial
+  // single-element case.
+  rows.push_back({"spmv_csr", Expr(2) * sy("M") * sy("K")});
+  // Sparse/stencil: two chained 5-point stars with the intermediate field
+  // recomputable inside a fused tile — only input and output are charged.
+  rows.push_back({"stencil_sweep", Expr(2) * sy("N") * sy("N")});
   return rows;
 }
 

@@ -1,8 +1,11 @@
-// Golden rows from Table 2 of the paper, written down independently of
-// src/kernels/table2.cpp.  The corpus encodes paper_bound/expected_bound
-// itself; these fixtures pin a hand-picked subset straight from the
-// published table so a regression in the corpus encoding and a regression
-// in the analyzer cannot mask each other.
+// Golden rows written down independently of the corpus encoding in
+// src/kernels: for the Table 2 families they are transcribed straight
+// from the published table, and for the post-paper families (attention,
+// sparse_stencil) from the closed-form reference bounds recorded when the
+// kernels were added.  The corpus encodes paper_bound/expected_bound
+// itself; these fixtures pin a hand-picked subset (plus every post-paper
+// kernel) so a regression in the corpus encoding and a regression in the
+// analyzer cannot mask each other.
 #pragma once
 
 #include <string>
@@ -17,8 +20,8 @@ struct GoldenRow {
   sym::Expr paper_bound;  ///< leading-order bound as printed in Table 2
 };
 
-/// One representative row per corpus category (Polybench / neural /
-/// various), transcribed from the published table.
+/// One representative row per published block (Polybench / neural /
+/// various) plus every post-paper kernel with its closed-form reference.
 const std::vector<GoldenRow>& table2_golden_rows();
 
 }  // namespace soap::testing

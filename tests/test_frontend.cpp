@@ -125,6 +125,52 @@ for i in range(N):
   EXPECT_EQ(p.input_arrays(), std::vector<std::string>{"a"});
 }
 
+TEST(Lower, DataDependentGatherCollapsesAndChargesIndexArray) {
+  // x[colind[i,k]] is a data-dependent read: the subscript collapses to the
+  // single representative location (affine 0 — the adversarial maximal-
+  // reuse case, sound for lower bounds) and the index array colind becomes
+  // an ordinary affine read charged in full.
+  Program p = parse_program(
+      "for i in range(M):\n  for k in range(K):\n"
+      "    y[i] += val[i,k] * x[colind[i,k]]\n");
+  ASSERT_EQ(p.statements.size(), 1u);
+  const Statement& st = p.statements[0];
+  ASSERT_TRUE(st.reads("val"));
+  ASSERT_TRUE(st.reads("colind"));
+  ASSERT_TRUE(st.reads("x"));
+  const ArrayAccess* colind = st.input_for("colind");
+  ASSERT_EQ(colind->components.size(), 1u);
+  EXPECT_EQ(colind->components[0].index[0].coeff("i"), Rational(1));
+  EXPECT_EQ(colind->components[0].index[1].coeff("k"), Rational(1));
+  const ArrayAccess* x = st.input_for("x");
+  ASSERT_EQ(x->components.size(), 1u);
+  ASSERT_EQ(x->components[0].index.size(), 1u);
+  EXPECT_TRUE(x->components[0].index[0].is_constant());
+  EXPECT_EQ(x->components[0].index[0].constant(), Rational(0));
+}
+
+TEST(Lower, DataDependentScatterReadsItsIndexArray) {
+  // A data-dependent *store* collapses the same way, and its index array is
+  // read even under a plain `=` (the address must be computed).
+  Program p = parse_program(
+      "for k in range(NNZ):\n  y[rowind[k]] = val[k]\n");
+  const Statement& st = p.statements[0];
+  EXPECT_EQ(st.output.array, "y");
+  ASSERT_EQ(st.output.components.size(), 1u);
+  EXPECT_TRUE(st.output.components[0].index[0].is_constant());
+  EXPECT_TRUE(st.reads("rowind"));
+  EXPECT_TRUE(st.reads("val"));
+}
+
+TEST(Lower, NonAffineLoopBoundsStillRejected) {
+  // The collapse applies to subscripts only; a data-dependent loop bound
+  // (CSR row-pointer iteration) remains a lowering error.
+  EXPECT_THROW(
+      parse_program("for i in range(M):\n  for k in range(row[i]):\n"
+                    "    y[i] += val[k]\n"),
+      std::runtime_error);
+}
+
 TEST(Lower, ScalarsIgnored) {
   Program p = parse_program(
       "for i in range(N):\n  b[i] = alpha * a[i] + beta\n");

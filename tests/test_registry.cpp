@@ -1,0 +1,117 @@
+// The kernel corpus registry: family self-registration, deterministic
+// enumeration order, lookup, derived metadata, and the invariant the
+// golden tests lean on — registry growth never disturbs the original
+// Table 2 rows.
+#include "kernels/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "frontend/lower.hpp"
+#include "kernels/table2.hpp"
+
+namespace soap::kernels {
+namespace {
+
+TEST(Registry, EnumeratesFamiliesInRankOrder) {
+  std::vector<std::string> families = Registry::instance().families();
+  ASSERT_GE(families.size(), 5u);
+  EXPECT_EQ(families[0], "polybench");
+  EXPECT_EQ(families[1], "neural");
+  EXPECT_EQ(families[2], "various");
+  EXPECT_EQ(families[3], "attention");
+  EXPECT_EQ(families[4], "sparse_stencil");
+}
+
+TEST(Registry, KernelsGroupByFamilyInEnumerationOrder) {
+  // kernels() is the concatenation of the families in rank order: every
+  // family forms one contiguous block, so corpus indices are stable as
+  // long as no family is inserted at a lower rank.
+  const auto& all = Registry::instance().kernels();
+  ASSERT_GE(all.size(), 43u);
+  std::vector<std::string> block_order;
+  for (const KernelEntry& k : all) {
+    if (block_order.empty() || block_order.back() != k.family) {
+      block_order.push_back(k.family);
+    }
+  }
+  EXPECT_EQ(block_order, Registry::instance().families());
+}
+
+TEST(Registry, NamesAreUniqueAcrossFamilies) {
+  std::set<std::string> names;
+  for (const KernelEntry& k : Registry::instance().kernels()) {
+    EXPECT_TRUE(names.insert(k.name).second) << k.name;
+  }
+}
+
+TEST(Registry, LookupFindsEveryRegisteredKernel) {
+  const Registry& registry = Registry::instance();
+  for (const KernelEntry& k : registry.kernels()) {
+    const KernelEntry* found = registry.find(k.name);
+    ASSERT_NE(found, nullptr) << k.name;
+    EXPECT_EQ(found, &k) << k.name;  // same object, not a copy
+  }
+  EXPECT_EQ(registry.find("no_such_kernel"), nullptr);
+  EXPECT_THROW(registry.at("no_such_kernel"), std::out_of_range);
+}
+
+TEST(Registry, FamilySubsetsPartitionTheCorpus) {
+  const Registry& registry = Registry::instance();
+  std::size_t total = 0;
+  for (const std::string& f : registry.families()) {
+    total += registry.family(f).size();
+  }
+  EXPECT_EQ(total, registry.size());
+  EXPECT_TRUE(registry.family("no_such_family").empty());
+}
+
+TEST(Registry, ProblemSizesDerivedFromExpectedBound) {
+  // Entries that don't list their problem-size symbols get them derived
+  // from the expected bound, minus the fast-memory size S.
+  const KernelEntry& gemm = Registry::instance().at("gemm");
+  EXPECT_EQ(gemm.problem_sizes, std::vector<std::string>{"N"});
+  const KernelEntry& mqa = Registry::instance().at("mqa");
+  EXPECT_EQ(mqa.problem_sizes,
+            (std::vector<std::string>{"B", "H", "L", "P"}));
+  for (const KernelEntry& k : Registry::instance().kernels()) {
+    for (const std::string& s : k.problem_sizes) EXPECT_NE(s, "S") << k.name;
+  }
+}
+
+TEST(Registry, DslSourceRecordedAndConsistentWithBuild) {
+  // Every corpus kernel is currently DSL-defined: the recorded source must
+  // be present and reparse to the same statement structure `build` yields.
+  for (const KernelEntry& k : Registry::instance().kernels()) {
+    ASSERT_FALSE(k.source.empty()) << k.name;
+    Program from_build = k.build();
+    Program from_source = frontend::parse_program(k.source);
+    ASSERT_EQ(from_build.statements.size(), from_source.statements.size())
+        << k.name;
+    EXPECT_EQ(from_build.str(), from_source.str()) << k.name;
+  }
+}
+
+TEST(Registry, RegistrationAfterMaterializationThrows) {
+  // kernels() has materialized by now (other tests enumerate it); a
+  // late registrar must fail loudly instead of silently vanishing.
+  Registry::instance().kernels();
+  EXPECT_THROW(Registry::instance().add_family(
+                   "late", 99, [] { return std::vector<KernelEntry>{}; }),
+               std::logic_error);
+}
+
+TEST(Registry, Table2ViewIsTheThreePublishedFamilies) {
+  std::vector<const KernelEntry*> rows = table2_kernels();
+  ASSERT_EQ(rows.size(), 38u);
+  for (const KernelEntry* k : rows) {
+    EXPECT_TRUE(k->family == "polybench" || k->family == "neural" ||
+                k->family == "various")
+        << k->name;
+  }
+}
+
+}  // namespace
+}  // namespace soap::kernels

@@ -42,10 +42,17 @@ std::vector<std::string> corpus_names() {
   if (kSanitized) {
     return {"gemm", "cholesky", "jacobi2d", "atax",   "mvt",
             "bicg", "gesummv",  "2mm",      "lulesh", "softmax",
-            "horizontal_diffusion"};
+            "horizontal_diffusion",
+            // Post-paper families: one fused-accounting attention variant
+            // and the data-dependent sparse row.
+            "flash_attention", "spmv_csr"};
   }
+  // The whole registered corpus — every family, including the post-paper
+  // ones, sweeps threads = 1/2/8 and pipelined-vs-level-sync.
   std::vector<std::string> names;
-  for (const auto& k : kernels::table2_kernels()) names.push_back(k.name);
+  for (const auto& k : kernels::Registry::instance().kernels()) {
+    names.push_back(k.name);
+  }
   return names;
 }
 
