@@ -1,0 +1,51 @@
+// Experiment V-attain: the corpus-wide close-the-loop table (bounds ->
+// optimal tiles -> tiled trace -> simulated I/O), the paper's attainability
+// story made reproducible per registry kernel.  Exits non-zero if any row
+// violates the soundness invariant Q_sim_belady >= Q_lb, so the bench-smoke
+// CTest entry doubles as a CI gate.
+//
+//   bench_attainment [--smoke] [--family NAME] [--threads N]
+//
+// --smoke restricts to one kernel per family and a single cache size so
+// sanitizer CI stays fast; the full run sweeps every registry kernel over
+// the default cache sizes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/attainment.hpp"
+#include "bench_flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace soap;
+  const bool smoke = bench::smoke_requested(argc, argv);
+  const std::string family = bench::family_requested(argc, argv);
+  analysis::AttainmentOptions options;
+  options.threads = bench::threads_requested(argc, argv);
+  if (smoke) options.cache_sizes = {96};
+
+  const kernels::Registry& registry = kernels::Registry::instance();
+  std::vector<const kernels::KernelEntry*> rows;
+  if (!family.empty()) {
+    rows = registry.family(family);
+    if (rows.empty()) {
+      std::printf("unknown kernel family '%s'\n", family.c_str());
+      return 1;
+    }
+    if (smoke) rows.erase(rows.begin() + 1, rows.end());
+  } else if (smoke) {
+    for (const std::string& fam : registry.families()) {
+      rows.push_back(registry.family(fam).front());
+    }
+  } else {
+    for (const kernels::KernelEntry& k : registry.kernels()) {
+      rows.push_back(&k);
+    }
+  }
+
+  std::printf("=== Attainment: bounds -> schedules -> simulated I/O ===\n");
+  std::vector<analysis::AttainmentRow> table =
+      analysis::attainment_table(rows, options);
+  std::fputs(analysis::format_attainment_table(table).c_str(), stdout);
+  return analysis::count_unsound(table) == 0 ? 0 : 1;
+}

@@ -20,8 +20,18 @@
 //                                        # (family, name, problem sizes)
 //   soap_analyze --corpus                # analyze every registered kernel
 //                                        # with its recorded configuration
-//   soap_analyze --family NAME           # restrict --corpus to one family
-//                                        # (implies --corpus)
+//   soap_analyze --family NAME           # restrict --corpus/--attainment
+//                                        # to one family (alone it implies
+//                                        # --corpus)
+//   soap_analyze --attainment            # close the loop over the corpus:
+//                                        # bound -> optimal tiles -> tiled
+//                                        # trace -> simulated I/O (LRU +
+//                                        # Belady) per kernel and cache
+//                                        # size; exits non-zero if any
+//                                        # kernel's simulated I/O beats
+//                                        # its bound (soundness gate)
+//   soap_analyze --cache-sizes N,N,...   # fast-memory sizes swept by
+//                                        # --attainment (default 96,384)
 //
 // Any malformed flag value or unknown option prints the usage message and
 // exits non-zero.
@@ -30,7 +40,9 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "analysis/attainment.hpp"
 #include "frontend/lower.hpp"
 #include "kernels/table2.hpp"
 #include "sdg/multi_statement.hpp"
@@ -46,9 +58,49 @@ int usage(const char* argv0) {
                "[--max-subgraphs N] [file]\n"
                "       %s --list-kernels | --corpus | --family NAME "
                "[--threads N]\n"
+               "       %s --attainment [--family NAME] "
+               "[--cache-sizes N,N,...] [--threads N]\n"
                "  reads the program from [file], or stdin when omitted\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
+}
+
+// Strict parse of a `--cache-sizes` CSV: non-empty, positive sizes only.
+bool parse_cache_sizes(const std::string& csv, std::vector<long long>& out) {
+  out.clear();
+  std::string token;
+  std::istringstream ss(csv);
+  while (std::getline(ss, token, ',')) {
+    std::optional<std::size_t> v = soap::support::parse_size_t(token);
+    if (!v || *v == 0) return false;
+    out.push_back(static_cast<long long>(*v));
+  }
+  return !out.empty();
+}
+
+// --attainment: the close-the-loop table (docs/ATTAINMENT.md): per
+// (kernel, cache size), the corpus bound next to the simulated I/O of the
+// derived tiling, with the soundness invariant enforced via the exit code.
+int run_attainment(const std::string& family, std::size_t threads,
+                   const std::vector<long long>& cache_sizes) {
+  using namespace soap;
+  analysis::AttainmentOptions options;
+  options.threads = threads;
+  if (!cache_sizes.empty()) options.cache_sizes = cache_sizes;
+  std::vector<analysis::AttainmentRow> rows;
+  if (family.empty()) {
+    rows = analysis::attainment_table(options);
+  } else {
+    std::vector<const kernels::KernelEntry*> subset =
+        kernels::Registry::instance().family(family);
+    if (subset.empty()) {
+      std::fprintf(stderr, "unknown kernel family '%s'\n", family.c_str());
+      return 1;
+    }
+    rows = analysis::attainment_table(subset, options);
+  }
+  std::fputs(analysis::format_attainment_table(rows).c_str(), stdout);
+  return analysis::count_unsound(rows) == 0 ? 0 : 1;
 }
 
 // --list-kernels: the registered corpus, one kernel per line, grouped by
@@ -108,7 +160,10 @@ int main(int argc, char** argv) {
   bool dump_sdg = false;
   bool list = false;
   bool corpus = false;
+  bool attainment = false;
   std::string family;
+  std::string cache_sizes_csv;
+  std::vector<long long> cache_sizes;
   std::string path;
   sdg::SdgOptions options;
   // Strict parse (support::consume_size_flag): a typo must not dial the
@@ -138,9 +193,29 @@ int main(int argc, char** argv) {
       corpus = true;
       continue;
     }
+    if (arg == "--attainment") {
+      attainment = true;
+      continue;
+    }
+    switch (support::consume_string_flag(argc, argv, i, "cache-sizes",
+                                         cache_sizes_csv)) {
+      case support::FlagParse::kOk:
+        if (!parse_cache_sizes(cache_sizes_csv, cache_sizes)) {
+          std::fprintf(stderr,
+                       "invalid --cache-sizes '%s' (comma-separated "
+                       "positive sizes)\n",
+                       cache_sizes_csv.c_str());
+          return usage(argv[0]);
+        }
+        continue;
+      case support::FlagParse::kBadValue:
+        std::fprintf(stderr, "invalid or missing value for --cache-sizes\n");
+        return usage(argv[0]);
+      case support::FlagParse::kNoMatch:
+        break;
+    }
     switch (support::consume_string_flag(argc, argv, i, "family", family)) {
       case support::FlagParse::kOk:
-        corpus = true;
         continue;
       case support::FlagParse::kBadValue:
         std::fprintf(stderr, "invalid or missing value for --family\n");
@@ -176,8 +251,12 @@ int main(int argc, char** argv) {
     }
     path = arg;
   }
-  if ((list || corpus) && !path.empty()) {
-    std::fprintf(stderr, "--list-kernels/--corpus take no input file\n");
+  // `--family NAME` on its own is a corpus filter; with --attainment it
+  // filters the attainment sweep instead.
+  if (!family.empty() && !attainment) corpus = true;
+  if ((list || corpus || attainment) && !path.empty()) {
+    std::fprintf(stderr,
+                 "--list-kernels/--corpus/--attainment take no input file\n");
     return usage(argv[0]);
   }
   // The corpus modes analyze each kernel with its *recorded* engine
@@ -185,17 +264,29 @@ int main(int argc, char** argv) {
   // the per-program knobs cannot apply there; accepting and ignoring them
   // would break this tool's strict-flag contract.
   const sdg::SdgOptions defaults;
-  if ((list || corpus) &&
+  if ((list || corpus || attainment) &&
       (dump_sdg ||
        options.max_subgraph_size != defaults.max_subgraph_size ||
        options.max_subgraphs != defaults.max_subgraphs)) {
     std::fprintf(stderr,
                  "--sdg/--max-subgraph-size/--max-subgraphs do not apply to "
-                 "--list-kernels/--corpus (kernels use their recorded "
-                 "configuration; only --threads applies)\n");
+                 "--list-kernels/--corpus/--attainment (kernels use their "
+                 "recorded configuration; only --threads applies)\n");
+    return usage(argv[0]);
+  }
+  if (!cache_sizes.empty() && !attainment) {
+    std::fprintf(stderr, "--cache-sizes only applies to --attainment\n");
+    return usage(argv[0]);
+  }
+  if (attainment && (list || corpus)) {
+    std::fprintf(stderr,
+                 "--attainment conflicts with --list-kernels/--corpus\n");
     return usage(argv[0]);
   }
   if (list) return list_kernels();
+  if (attainment) {
+    return run_attainment(family, options.threads, cache_sizes);
+  }
   if (corpus) return run_corpus(family, options.threads);
   std::string source;
   if (path.empty()) {

@@ -18,6 +18,10 @@ constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
 
 SimResult simulate_lru(const std::vector<schedule::Access>& trace,
                        std::size_t S) {
+  // A zero-capacity cache is modeled as capacity 1 (the paper's machine
+  // model needs at least one resident word to compute); S = 0 would
+  // otherwise evict from an empty LRU list on the first access.
+  S = std::max<std::size_t>(S, 1);
   SimResult r;
   // LRU list: front = most recent.  Map address -> (list iterator, dirty).
   std::list<std::uint64_t> order;
@@ -58,6 +62,7 @@ SimResult simulate_lru(const std::vector<schedule::Access>& trace,
 
 SimResult simulate_belady(const std::vector<schedule::Access>& trace,
                           std::size_t S) {
+  S = std::max<std::size_t>(S, 1);  // same capacity-1 floor as LRU
   SimResult r;
   // Next-use chains.
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> uses;

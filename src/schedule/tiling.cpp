@@ -2,8 +2,48 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <vector>
 
 namespace soap::schedule {
+
+namespace {
+
+/// Worst-case (maximal) extent of loop `depth`: upper - lower is affine in
+/// the outer iteration variables, so its maximum over the outer iteration
+/// box is attained at a vertex.  Enumerate the 2^depth vertices
+/// outermost-first (an outer bound may itself depend on further-outer
+/// variables, so each endpoint is evaluated under the choices made so
+/// far).  The old probe pinned every outer variable at its lower bound,
+/// which computes the *minimum* extent — a triangular loop
+/// `for j in range(i)` degenerated to extent 1 and its tile clamped to 1
+/// for every S.
+long long max_extent(const std::vector<Loop>& loops, std::size_t depth,
+                     const std::map<std::string, Rational>& params) {
+  long long best = 1;
+  std::map<std::string, Rational> env = params;
+  std::function<void(std::size_t)> walk = [&](std::size_t d) {
+    if (d == depth) {
+      Rational lo = loops[depth].lower.eval(env);
+      Rational hi = loops[depth].upper.eval(env);
+      best = std::max(best, static_cast<long long>((hi - lo).floor()));
+      return;
+    }
+    Rational lo = loops[d].lower.eval(env);
+    Rational hi = loops[d].upper.eval(env);
+    // Probe both endpoints of the outer variable's range (hi - 1 can fall
+    // below lo for degenerate ranges; the extent below clamps at 1).
+    for (const Rational& v : {lo, hi - Rational(1)}) {
+      env[loops[d].var] = v;
+      walk(d + 1);
+    }
+    env.erase(loops[d].var);
+  };
+  walk(0);
+  return best;
+}
+
+}  // namespace
 
 std::map<std::string, long long> concrete_tiles(
     const Statement& st, const bounds::IoLowerBound& bound, long long S,
@@ -11,22 +51,10 @@ std::map<std::string, long long> concrete_tiles(
   std::map<std::string, Rational> env;
   for (const auto& [k, v] : params) env[k] = Rational(v);
   std::map<std::string, long long> out;
-  for (const Loop& loop : st.domain.loops()) {
-    long long extent = 1;
-    {
-      // Worst-case extent: evaluate upper - lower at the parameter values
-      // with inner variables at their lower bounds (loop bounds in the
-      // corpus only shrink inward, so this is an upper bound on the extent).
-      std::map<std::string, Rational> probe = env;
-      for (const Loop& outer : st.domain.loops()) {
-        if (outer.var == loop.var) break;
-        probe[outer.var] = outer.lower.eval(probe);
-      }
-      Rational lo = loop.lower.eval(probe);
-      Rational hi = loop.upper.eval(probe);
-      extent = std::max<long long>(
-          1, static_cast<long long>((hi - lo).floor()));
-    }
+  const std::vector<Loop>& loops = st.domain.loops();
+  for (std::size_t d = 0; d < loops.size(); ++d) {
+    const Loop& loop = loops[d];
+    long long extent = max_extent(loops, d, env);
     auto it = bound.tiles.find(loop.var);
     if (it == bound.tiles.end()) {
       out[loop.var] = extent;

@@ -1,0 +1,25 @@
+#include "attainment_golden.hpp"
+
+namespace soap::testing {
+
+const std::vector<AttainmentGoldenRow>& attainment_golden_rows() {
+  // Bands are the measured ratio +/- ~17% (see header).  Kernel selection:
+  // gemm (the canonical single-statement row), cholesky (triangular
+  // domain), gemver (fused 4-statement BLAS), attention (fused softmax
+  // pipeline), spmv_csr (data-dependent gather), stencil_sweep
+  // (recomputation-rho bound), jacobi2d (time-tiled stencil), lenet5
+  // (multi-statement conv net).
+  static const std::vector<AttainmentGoldenRow> rows = {
+      {"gemm", 96, 4018.0, 1.70, 2.40},
+      {"cholesky", 96, 670.0, 1.50, 2.10},
+      {"gemver", 96, 1024.0, 3.60, 5.10},
+      {"attention", 96, 5977.0, 3.10, 4.40},
+      {"spmv_csr", 96, 2048.0, 1.00, 1.25},
+      {"stencil_sweep", 96, 2048.0, 1.55, 2.25},
+      {"jacobi2d", 96, 8036.0, 3.20, 4.60},
+      {"lenet5", 96, 7838.0, 1.70, 2.40},
+  };
+  return rows;
+}
+
+}  // namespace soap::testing

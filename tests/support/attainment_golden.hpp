@@ -1,0 +1,29 @@
+// Golden attainment rows: for a hand-picked corpus subset, the bound value
+// and the Belady-attainment ratio measured at the default problem sizes and
+// S = 96 are written down here, independently of src/analysis.  The ratios
+// carry a tolerance band (the tiling heuristic may legitimately drift a
+// little as it improves); the soundness floor ratio >= 1 is exact and
+// enforced separately by test_attainment.cpp.  A row drifting out of its
+// band means the bound, the tiling, the trace, or the simulator changed
+// behavior — update the band only after understanding which.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soap::testing {
+
+struct AttainmentGoldenRow {
+  std::string name;   ///< kernel name as registered in the corpus
+  long long S;        ///< fast-memory size the row was recorded at
+  double q_lb;        ///< corpus bound at the default sizes (tol 1.0)
+  double ratio_lo;    ///< inclusive band for Q_sim_belady / Q_lb
+  double ratio_hi;
+};
+
+/// Recorded at the AttainmentOptions defaults (iteration_budget 20000, no
+/// param overrides); spans single-statement, fused, triangular,
+/// data-dependent, and recomputation-bound kernels.
+const std::vector<AttainmentGoldenRow>& attainment_golden_rows();
+
+}  // namespace soap::testing

@@ -8,10 +8,15 @@
 #include <cstdint>
 #include <sstream>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "bounds/single_statement.hpp"
 #include "cachesim/sim.hpp"
 #include "frontend/lower.hpp"
 #include "schedule/tiling.hpp"
+#include "schedule/trace.hpp"
 
 namespace soap {
 namespace {
@@ -123,6 +128,57 @@ void check_sound(const std::string& source,
   EXPECT_LE(analytic, static_cast<double>(mt.belady.io()) + 1e-6) << source;
 }
 
+// The multiset of (address, is_write) accesses of a tiled execution —
+// generated through the SAME TraceBuilder so element ids agree — must equal
+// the natural order's: tiling reorders iterations, it must never drop,
+// duplicate, or invent any.
+void check_tiling_preserves_accesses(
+    const Statement& st, const std::map<std::string, long long>& params,
+    const std::map<std::string, long long>& tiles) {
+  schedule::TraceBuilder builder;
+  builder.append_natural(st, params);
+  const std::size_t natural_len = builder.trace().size();
+  builder.append_tiled(st, params, tiles);
+  using Key = std::pair<std::uint64_t, bool>;
+  std::vector<Key> natural, tiled;
+  for (std::size_t i = 0; i < builder.trace().size(); ++i) {
+    const schedule::Access& a = builder.trace()[i];
+    (i < natural_len ? natural : tiled).emplace_back(a.address, a.write);
+  }
+  ASSERT_EQ(tiled.size(), natural.size());
+  std::sort(natural.begin(), natural.end());
+  std::sort(tiled.begin(), tiled.end());
+  EXPECT_EQ(tiled, natural);
+}
+
+// Any legal tiling — not just the optimizer's — is a valid schedule, so
+// the bound must hold for random tile shapes too (including tiles larger
+// than the extent, which clamp inside the trace generator).
+void check_random_tiling_sound(Rng& rng, const std::string& source,
+                               const std::map<std::string, long long>& params,
+                               std::size_t S) {
+  Program p;
+  try {
+    p = frontend::parse_program(source);
+  } catch (const std::exception& e) {
+    FAIL() << "generated program failed to parse: " << e.what() << "\n"
+           << source;
+  }
+  const Statement& st = p.statements[0];
+  std::map<std::string, long long> tiles;
+  for (const Loop& loop : st.domain.loops()) {
+    tiles[loop.var] = rng.range(1, 9);
+  }
+  check_tiling_preserves_accesses(st, params, tiles);
+  auto bound = bounds::single_statement_bound(st);
+  if (!bound) return;  // unbounded reuse: nothing to check
+  std::map<std::string, double> env = {{"S", static_cast<double>(S)}};
+  for (const auto& [k, v] : params) env[k] = static_cast<double>(v);
+  auto m = cachesim::measure_statement(st, params, tiles, S);
+  EXPECT_LE(bound->Q.eval(env), static_cast<double>(m.belady.io()) + 1e-6)
+      << source << "with random tiles at S=" << S;
+}
+
 class StencilFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(StencilFuzz, BoundNeverExceedsSimulatedIo) {
@@ -149,6 +205,26 @@ TEST_P(ContractionFuzz, BoundNeverExceedsSimulatedIo) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ContractionFuzz, ::testing::Range(0, 12));
+
+class RandomTilingFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTilingFuzz, RandomTilesStaySoundAndCoverTheDomain) {
+  Rng rng{0xA0761D6478BD642FULL ^
+          (static_cast<std::uint64_t>(GetParam()) * 0xE7037ED1A0B428DBULL)};
+  if (rng.range(0, 1) == 0) {
+    int dims = rng.range(1, 2);
+    std::string src = random_stencil(rng, dims);
+    long long n = dims == 1 ? 40 : 16;
+    std::size_t S = static_cast<std::size_t>(rng.range(16, 64));
+    check_random_tiling_sound(rng, src, {{"N", n}, {"T", 6}}, S);
+  } else {
+    std::string src = random_contraction(rng);
+    std::size_t S = static_cast<std::size_t>(rng.range(24, 96));
+    check_random_tiling_sound(rng, src, {{"N", 10}}, S);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTilingFuzz, ::testing::Range(0, 16));
 
 }  // namespace
 }  // namespace soap
