@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Diff fresh google-benchmark JSON against the committed baselines.
+
+Reads one or more fresh ``--benchmark_format=json`` files and compares every
+benchmark they share with the corresponding file in ``bench/baselines/``
+(matched by filename: a fresh ``BENCH_symbolic.json`` diffs against the
+baseline ``BENCH_symbolic.json``).  A benchmark regresses when
+
+    fresh_time > baseline_time * (1 + tolerance)
+
+Exits 1 if any compared benchmark regresses beyond tolerance, 2 if nothing
+could be compared at all (wrong filter, empty files, disjoint names) so a
+silently-vacuous CI gate fails loudly, and 0 otherwise.
+
+Timings on shared CI runners are noisy; the default tolerance is therefore a
+generous 50% — the gate exists to catch "accidentally quadratic", not a few
+percent of scheduler jitter.  Tighten with --tolerance on quiet hardware.
+
+Usage:
+    scripts/bench_compare.py fresh/BENCH_symbolic.json [more.json ...] \
+        [--baseline-dir bench/baselines] [--tolerance 0.5] \
+        [--filter REGEX] [--metric real_time|cpu_time]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def load_benchmarks(path: Path, metric: str) -> dict[str, float]:
+    """Maps benchmark name -> metric value, skipping aggregate rows."""
+    with path.open() as f:
+        data = json.load(f)
+    out: dict[str, float] = {}
+    for row in data.get("benchmarks", []):
+        # Repetition aggregates (name_mean, name_stddev, ...) carry a
+        # run_type of "aggregate"; plain runs either omit run_type or say
+        # "iteration".
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name")
+        if name is None or metric not in row:
+            continue
+        out[name] = float(row[metric])
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", nargs="+", type=Path,
+                        help="fresh --benchmark_format=json output file(s)")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path("bench/baselines"),
+                        help="directory with committed BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed relative slowdown (0.5 == +50%%)")
+    parser.add_argument("--filter", default="",
+                        help="regex; only benchmark names matching it are "
+                             "compared (default: all shared names)")
+    parser.add_argument("--metric", default="real_time",
+                        choices=["real_time", "cpu_time"],
+                        help="which reported time to compare")
+    args = parser.parse_args()
+
+    name_re = re.compile(args.filter) if args.filter else None
+    compared = 0
+    regressions: list[str] = []
+
+    for fresh_path in args.fresh:
+        baseline_path = args.baseline_dir / fresh_path.name
+        if not baseline_path.is_file():
+            print(f"note: no baseline {baseline_path}, skipping "
+                  f"{fresh_path.name}")
+            continue
+        fresh = load_benchmarks(fresh_path, args.metric)
+        baseline = load_benchmarks(baseline_path, args.metric)
+        for name in sorted(fresh.keys() & baseline.keys()):
+            if name_re is not None and not name_re.search(name):
+                continue
+            old, new = baseline[name], fresh[name]
+            ratio = new / old if old > 0 else float("inf")
+            compared += 1
+            verdict = "ok"
+            if ratio > 1.0 + args.tolerance:
+                verdict = "REGRESSION"
+                regressions.append(name)
+            print(f"{verdict:>10}  {name}: {old:.0f} -> {new:.0f} ns "
+                  f"({(ratio - 1.0) * 100.0:+.1f}%)")
+
+    if compared == 0:
+        print("error: no benchmarks compared (empty files, missing "
+              "baselines, or a filter that matched nothing)", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"+{args.tolerance * 100:.0f}%: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"\n{compared} benchmark(s) within +{args.tolerance * 100:.0f}% "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Records the wall-clock scaling curve of the parallel analysis paths.
+#
+# Runs the thread sweeps of BM_SdgAnalysisChain and BM_Table2CorpusBatch
+# (bench_sdg_scaling) and writes
+#   <out_dir>/BENCH_scaling.json   raw google-benchmark JSON
+#   <out_dir>/BENCH_scaling.md     speedup table (serial time / threaded time)
+#
+# The committed bench/baselines numbers were recorded on a ONE-hardware-thread
+# container, where every /threads:N variant can only measure oversubscription
+# overhead — the speedup column there is expected to hover around 1.0 or
+# below.  To record a real curve, run this script on a quiet multicore host
+# (see README.md "Benchmarks"); the markdown table makes the per-thread-count
+# efficiency directly visible.
+#
+# Usage:
+#   scripts/bench_scaling.sh [build_dir] [out_dir] [extra benchmark args...]
+# Defaults: build_dir=build/release, out_dir=bench/scaling.
+set -euo pipefail
+
+build_dir="${1:-build/release}"
+out_dir="${2:-bench/scaling}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+binary="$build_dir/bench/bench_sdg_scaling"
+if [[ ! -x "$binary" ]]; then
+  echo "error: $binary not found — configure and build first:" >&2
+  echo "  cmake --preset release && cmake --build --preset release -j" >&2
+  exit 1
+fi
+
+mkdir -p "$out_dir"
+json="$out_dir/BENCH_scaling.json"
+md="$out_dir/BENCH_scaling.md"
+
+# The /threads:1 entry anchors the speedup column; the rest of the
+# /threads:N sweep provides the curve.
+filter='BM_SdgAnalysisChain/35/threads:[0-9]+$|BM_Table2CorpusBatch/threads:[0-9]+$'
+echo "running bench_sdg_scaling thread sweeps -> $json"
+"$binary" --benchmark_format=json "--benchmark_filter=$filter" "$@" > "$json"
+
+python3 - "$json" "$md" <<'PY'
+import json, re, sys
+
+json_path, md_path = sys.argv[1], sys.argv[2]
+rows = [b for b in json.load(open(json_path))["benchmarks"]
+        if b.get("run_type") != "aggregate"]
+
+def base_and_threads(name):
+    m = re.match(r"(.*?)/threads:(\d+)$", name)
+    if m:
+        return m.group(1), int(m.group(2))
+    return name, 1
+
+families = {}
+for row in rows:
+    base, threads = base_and_threads(row["name"])
+    families.setdefault(base, {})[threads] = row["real_time"]
+
+lines = [
+    "# Wall-clock scaling (bench_sdg_scaling)",
+    "",
+    "Speedup = serial real time / threaded real time.  Recorded by",
+    "`scripts/bench_scaling.sh`; a 1-hardware-thread host pins every row",
+    "near 1.0x or below (oversubscription) by construction.",
+    "",
+    "| benchmark | threads | real time (ms) | speedup |",
+    "|---|---:|---:|---:|",
+]
+for base in sorted(families):
+    curve = families[base]
+    serial = curve.get(1)
+    for threads in sorted(curve):
+        t = curve[threads]
+        speedup = f"{serial / t:.2f}x" if serial else "n/a"
+        lines.append(f"| {base} | {threads} | {t / 1e6:.2f} | {speedup} |")
+print("\n".join(lines), file=open(md_path, "w"))
+print(f"speedup table written to {md_path}")
+PY
+
+cat "$md"

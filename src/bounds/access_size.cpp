@@ -14,14 +14,15 @@ using sym::Expr;
 Expr extent_expr(const DimSpec& d) {
   if (d.vars.empty()) return Expr(1);
   if (d.mode == DimSpec::Mode::kMax) {
-    std::vector<Expr> args;
+    sym::ExprVec args;
     args.reserve(d.vars.size());
     for (const std::string& v : d.vars) args.push_back(Expr::symbol(v));
     return sym::max(std::move(args));
   }
-  Expr p(1);
-  for (const std::string& v : d.vars) p = p * Expr::symbol(v);
-  return p;
+  sym::ExprVec factors;
+  factors.reserve(d.vars.size());
+  for (const std::string& v : d.vars) factors.push_back(Expr::symbol(v));
+  return sym::make_mul(std::move(factors));
 }
 
 double extent_eval(const DimSpec& d,
@@ -44,15 +45,17 @@ double extent_eval(const DimSpec& d,
 }  // namespace
 
 Expr AccessTerm::size_expr() const {
-  Expr prod(1);
-  Expr prod_minus(1);
+  sym::ExprVec extents;
+  sym::ExprVec extents_minus;
   bool any_offset = false;
   for (const DimSpec& d : dims) {
     Expr e = extent_expr(d);
-    prod = prod * e;
-    prod_minus = prod_minus * (e - Expr(d.offsets));
+    extents.push_back(e);
+    extents_minus.push_back(e - Expr(d.offsets));
     if (d.offsets > 0) any_offset = true;
   }
+  Expr prod = sym::make_mul(std::move(extents));
+  Expr prod_minus = sym::make_mul(std::move(extents_minus));
   switch (kind) {
     case TermKind::kPlain:
       if (!any_offset) return prod;

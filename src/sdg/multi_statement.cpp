@@ -151,8 +151,8 @@ std::optional<MultiStatementBound> multi_statement_bound(
     }
   }
 
-  // Theorem 1 sum over computed arrays.
-  sym::Expr q_sdg(0);
+  // Theorem 1 sum over computed arrays (batch-canonicalized at the end).
+  sym::ExprVec q_sdg_terms;
   for (const std::string& array : sdg.computed_arrays()) {
     auto it = best_for.find(array);
     const Evaluated* best = it == best_for.end() ? nullptr : it->second;
@@ -170,20 +170,22 @@ std::optional<MultiStatementBound> multi_statement_bound(
     ab.rho = best->rho;
     ab.rho_value = best->rho_value;
     ab.best_subgraph = best->arrays;
-    q_sdg = q_sdg + ab.cdag_size / best->rho;
+    q_sdg_terms.push_back(ab.cdag_size / best->rho);
     out.per_array.push_back(std::move(ab));
   }
-  out.Q_sdg = sym::leading_term_except(q_sdg, s_only());
+  out.Q_sdg =
+      sym::leading_term_except(sym::make_add(std::move(q_sdg_terms)), s_only());
 
   // Cold bound: touched inputs + terminal outputs, each at least once.
-  sym::Expr q_cold(0);
+  sym::ExprVec q_cold_terms;
   for (const std::string& a : program.input_arrays()) {
-    q_cold = q_cold + program.array_element_count(a);
+    q_cold_terms.push_back(program.array_element_count(a));
   }
   for (const std::string& a : program.terminal_arrays()) {
-    q_cold = q_cold + program.array_element_count(a);
+    q_cold_terms.push_back(program.array_element_count(a));
   }
-  out.Q_cold = sym::leading_term_except(q_cold, s_only());
+  out.Q_cold =
+      sym::leading_term_except(sym::make_add(std::move(q_cold_terms)), s_only());
 
   // Final: the numerically larger of the two sound bounds at a reference
   // point (sizes >> S so the leading terms dominate).

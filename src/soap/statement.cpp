@@ -57,21 +57,20 @@ namespace {
 // for  c0 + sum c_i v_i  the index sweeps roughly sum |c_i| * extent(v_i)
 // values; we use the leading term of that sum.
 sym::Expr subscript_extent(const Affine& idx, const Domain& dom) {
-  sym::Expr total(0);
-  bool any = false;
+  sym::ExprVec terms;
   for (const auto& [v, c] : idx.coeffs()) {
     const std::string& name = symbol_name(v);
     for (const Loop& l : dom.loops()) {
       if (l.var == name) {
         sym::Polynomial extent = affine_to_polynomial(l.upper) -
                                  affine_to_polynomial(l.lower);
-        total = total + sym::Expr(c.abs()) * extent.leading_terms().to_expr();
-        any = true;
+        terms.push_back(sym::make_mul(
+            {sym::Expr(c.abs()), extent.leading_terms().to_expr()}));
       }
     }
   }
-  if (!any) return sym::Expr(1);
-  return total;
+  if (terms.empty()) return sym::Expr(1);
+  return sym::make_add(std::move(terms));
 }
 
 }  // namespace
@@ -81,44 +80,44 @@ sym::Expr Program::array_cdag_size(const std::string& array) const {
   if (hint != array_size_hint.end()) return hint->second;
 
   // Computed array: one vertex per write.
-  sym::Expr computed(0);
+  sym::ExprVec writes;
   bool written = false;
   for (const Statement& st : statements) {
     if (st.output.array == array) {
-      computed = computed + st.domain.cardinality().leading_terms().to_expr();
+      writes.push_back(st.domain.cardinality().leading_terms().to_expr());
       written = true;
     }
   }
-  if (written) return computed;
+  if (written) return sym::make_add(std::move(writes));
 
   // Pure input: bounding box of the accesses (leading order); take the max
   // over reading statements.
-  std::vector<sym::Expr> candidates;
+  sym::ExprVec candidates;
   for (const Statement& st : statements) {
     const ArrayAccess* acc = st.input_for(array);
     if (acc == nullptr || acc->components.empty()) continue;
-    sym::Expr box(1);
+    sym::ExprVec extents;
     for (const Affine& idx : acc->components[0].index) {
-      box = box * subscript_extent(idx, st.domain);
+      extents.push_back(subscript_extent(idx, st.domain));
     }
-    candidates.push_back(box);
+    candidates.push_back(sym::make_mul(std::move(extents)));
   }
   if (candidates.empty()) return sym::Expr(0);
   if (candidates.size() == 1) return candidates[0];
-  return sym::max(candidates);
+  return sym::max(std::move(candidates));
 }
 
 sym::Expr Program::array_element_count(const std::string& array) const {
   auto hint = array_size_hint.find(array);
   if (hint != array_size_hint.end()) return hint->second;
-  std::vector<sym::Expr> candidates;
+  sym::ExprVec candidates;
   auto add_access = [&candidates](const ArrayAccess& acc, const Domain& dom) {
     if (acc.components.empty()) return;
-    sym::Expr box(1);
+    sym::ExprVec extents;
     for (const Affine& idx : acc.components[0].index) {
-      box = box * subscript_extent(idx, dom);
+      extents.push_back(subscript_extent(idx, dom));
     }
-    candidates.push_back(box);
+    candidates.push_back(sym::make_mul(std::move(extents)));
   };
   for (const Statement& st : statements) {
     if (st.output.array == array) add_access(st.output, st.domain);
@@ -127,7 +126,7 @@ sym::Expr Program::array_element_count(const std::string& array) const {
   }
   if (candidates.empty()) return sym::Expr(0);
   if (candidates.size() == 1) return candidates[0];
-  return sym::max(candidates);
+  return sym::max(std::move(candidates));
 }
 
 std::vector<std::string> Program::terminal_arrays() const {

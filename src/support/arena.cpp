@@ -1,0 +1,49 @@
+#include "support/arena.hpp"
+
+#include <new>
+
+namespace soap::support {
+
+Arena::Arena(std::size_t block_bytes) : block_bytes_(block_bytes) {}
+
+Arena::~Arena() {
+  for (void* b : blocks_) ::operator delete(b);
+}
+
+void* Arena::allocate_large(std::size_t bytes, std::size_t align) {
+  return align > __STDCPP_DEFAULT_NEW_ALIGNMENT__
+             ? ::operator new(bytes, std::align_val_t{align})
+             : ::operator new(bytes);
+}
+
+void Arena::deallocate_large(void* p, std::size_t align) noexcept {
+  if (align > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+    ::operator delete(p, std::align_val_t{align});
+  } else {
+    ::operator delete(p);
+  }
+}
+
+void* Arena::refill_and_carve(std::size_t slot_bytes) {
+  // operator new without align_val_t guarantees
+  // __STDCPP_DEFAULT_NEW_ALIGNMENT__ (>= kGranularity), and slot sizes are
+  // multiples of kGranularity, so every carve stays aligned.
+  auto* block = static_cast<unsigned char*>(::operator new(block_bytes_));
+  blocks_.push_back(block);
+  bump_ = block + slot_bytes;
+  bump_left_ = block_bytes_ - slot_bytes;
+  return block;
+}
+
+Arena::Stats Arena::stats() const {
+  // Reads the serialized-allocate state: callers must exclude allocate()
+  // (the intern table calls this under at least a shared shard lock, which
+  // excludes the exclusive-locked allocate path).
+  Stats s;
+  s.blocks = blocks_.size();
+  s.bytes_reserved = blocks_.size() * block_bytes_;
+  s.live = live_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace soap::support

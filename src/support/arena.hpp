@@ -1,0 +1,206 @@
+// Arena: a block/pool allocator for small, churny objects.
+//
+// Memory is carved from large blocks (64 KiB by default) in bump order;
+// freed allocations are recycled through per-size-class free lists, so a
+// steady-state workload of equal-sized objects (the hash-consed symbolic
+// nodes and their shared_ptr control blocks) reuses a bounded set of slots
+// instead of hitting the global allocator once per object.  Blocks are only
+// returned to the system by the destructor: the arena's footprint is the
+// high-water mark of its live set, which is exactly the working-set
+// guarantee the intern table's weak eviction provides one level up.
+//
+// Concurrency contract (asymmetric by design, matched to the intern table):
+//   * allocate() must be externally serialized per arena — the intern table
+//     calls it only while holding its shard's exclusive lock.  This keeps
+//     the hot bump/pop path completely lock-free and unsynchronized.
+//   * deallocate() is thread-safe and lock-free (an atomic Treiber push
+//     onto the size-class free list): node deleters and shared_ptr
+//     control-block teardown run it outside any table lock.
+//   * The single-popper/multi-pusher split makes the classic Treiber ABA
+//     hazard impossible: only allocate() (serialized) ever removes list
+//     nodes, so a popped head cannot be recycled mid-CAS.
+//
+// The pop/push/bump fast paths are defined inline below: allocate and
+// deallocate run once per node *and* once per control block, and the
+// out-of-line call was measurable in the canonicalization benchmarks.
+//
+// Sanitizers: under AddressSanitizer the arena degrades to per-allocation
+// operator new/delete (SOAP_ARENA_PASSTHROUGH), so use-after-free and
+// overflow detection on arena-backed objects keeps working in the
+// asan-ubsan preset.  The stats API is live in both modes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SOAP_ARENA_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SOAP_ARENA_PASSTHROUGH 1
+#endif
+#endif
+#ifndef SOAP_ARENA_PASSTHROUGH
+#define SOAP_ARENA_PASSTHROUGH 0
+#endif
+
+namespace soap::support {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns storage for `bytes` bytes aligned to `align`.  Requests up to
+  /// kMaxSmall bytes with fundamental alignment come from the pooled size
+  /// classes; anything larger falls through to operator new (still tracked
+  /// and freed through deallocate).  NOT thread-safe: callers serialize
+  /// (the intern table holds its shard's exclusive lock).
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Returns storage obtained from allocate.  `bytes`/`align` must match the
+  /// allocating call (allocator-style contract, as with operator delete).
+  /// Thread-safe and lock-free; may race with allocate() and itself.
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept;
+
+  struct Stats {
+    std::size_t blocks = 0;          ///< owned bump blocks
+    std::size_t bytes_reserved = 0;  ///< total bytes in those blocks
+    std::size_t live = 0;            ///< allocations not yet deallocated
+  };
+  [[nodiscard]] Stats stats() const;
+
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+  /// Largest pooled request; chosen to cover the symbolic Node plus the
+  /// shared_ptr control block with room to spare.
+  static constexpr std::size_t kMaxSmall = 512;
+  /// Size-class granularity; also the strongest alignment the pooled path
+  /// guarantees (== default operator new alignment on this toolchain).
+  static constexpr std::size_t kGranularity = 16;
+
+ private:
+  struct FreeSlot {
+    FreeSlot* next;
+  };
+  static constexpr std::size_t kClasses = kMaxSmall / kGranularity;
+
+  /// Rounds a pooled request up to its size class.  Every slot must be able
+  /// to hold the intrusive free-list node.
+  static constexpr std::size_t size_class(std::size_t bytes) {
+    if (bytes < sizeof(void*)) bytes = sizeof(void*);
+    return (bytes + kGranularity - 1) / kGranularity;
+  }
+
+  /// Slow paths, out of line: oversized requests and bump-block refill.
+  void* allocate_large(std::size_t bytes, std::size_t align);
+  void* refill_and_carve(std::size_t slot_bytes);
+  static void deallocate_large(void* p, std::size_t align) noexcept;
+
+  // Serialized-allocate state (guarded by the caller's serialization).
+  std::vector<void*> blocks_;
+  std::size_t block_bytes_;
+  unsigned char* bump_ = nullptr;
+  std::size_t bump_left_ = 0;
+  // Free lists: multi-producer (lock-free deallocate) / single consumer
+  // (serialized allocate).
+  std::atomic<FreeSlot*> free_[kClasses] = {};
+  std::atomic<std::size_t> live_{0};
+};
+
+inline void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  live_.fetch_add(1, std::memory_order_relaxed);
+#if SOAP_ARENA_PASSTHROUGH
+  return align > __STDCPP_DEFAULT_NEW_ALIGNMENT__
+             ? ::operator new(bytes, std::align_val_t{align})
+             : ::operator new(bytes);
+#else
+  if (bytes > kMaxSmall || align > kGranularity) {
+    return allocate_large(bytes, align);
+  }
+  const std::size_t cls = size_class(bytes);
+  // Pop from the free list.  We are the only popper (allocate is serialized
+  // by the caller), but lock-free deallocate() may push concurrently — the
+  // CAS retries until the head is stable.  Acquire pairs with the release
+  // in deallocate so the slot's memory is safely reusable.
+  FreeSlot* head = free_[cls - 1].load(std::memory_order_acquire);
+  while (head != nullptr &&
+         !free_[cls - 1].compare_exchange_weak(head, head->next,
+                                               std::memory_order_acquire,
+                                               std::memory_order_acquire)) {
+  }
+  if (head != nullptr) return head;
+  const std::size_t slot_bytes = cls * kGranularity;
+  if (bump_left_ >= slot_bytes) {
+    void* p = bump_;
+    bump_ += slot_bytes;
+    bump_left_ -= slot_bytes;
+    return p;
+  }
+  return refill_and_carve(slot_bytes);
+#endif
+}
+
+inline void Arena::deallocate(void* p, std::size_t bytes,
+                              std::size_t align) noexcept {
+  if (p == nullptr) return;
+  live_.fetch_sub(1, std::memory_order_relaxed);
+#if SOAP_ARENA_PASSTHROUGH
+  (void)bytes;
+  deallocate_large(p, align);
+#else
+  if (bytes > kMaxSmall || align > kGranularity) {
+    deallocate_large(p, align);
+    return;
+  }
+  const std::size_t cls = size_class(bytes);
+  auto* slot = static_cast<FreeSlot*>(p);
+  // Lock-free Treiber push (multi-producer safe; see the top-of-file note
+  // for why the single-popper discipline rules out ABA).
+  FreeSlot* head = free_[cls - 1].load(std::memory_order_relaxed);
+  do {
+    slot->next = head;
+  } while (!free_[cls - 1].compare_exchange_weak(head, slot,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed));
+#endif
+}
+
+/// std-allocator adapter over an Arena, usable wherever an Allocator is
+/// accepted.  Inherits the arena's contract: allocate() only from the
+/// serialized context (the intern table's shard lock), deallocate() from
+/// anywhere.  The arena must outlive every allocation made through the
+/// adapter.
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    arena_->deallocate(p, n * sizeof(T), alignof(T));
+  }
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace soap::support

@@ -7,10 +7,13 @@
 // integer arithmetic.  The symbolic core (symbolic/expr.*) stores the SymId in
 // every symbol node and derives per-node symbol-set caches from it.
 //
-// Thread-safety contract: `intern` and `name` may be called concurrently from
-// any thread (a single mutex guards the table).  Ids are dense and assigned in
-// first-intern order; names are never evicted, so a `const std::string&`
-// returned by `name()` stays valid for the lifetime of the process.
+// Thread-safety contract: `intern_symbol` and `symbol_name` may be called
+// concurrently from any thread.  The name -> id index is sharded 16 ways by
+// the name's hash (one mutex per shard), and `symbol_name` is lock-free: it
+// reads an append-only id -> name directory of atomic pointers.  Ids are
+// dense and assigned in global first-intern order (one atomic counter);
+// names are never evicted, so a `const std::string&` returned by
+// `symbol_name()` stays valid for the lifetime of the process.
 #pragma once
 
 #include <cstdint>

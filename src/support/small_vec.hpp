@@ -1,0 +1,238 @@
+// SmallVec<T, N>: a contiguous vector with inline storage for the first N
+// elements, spilling to the heap only beyond that.
+//
+// The symbolic core stores every node's operand list in one of these
+// (symbolic/expr.hpp): the overwhelming majority of Add/Mul/Min/Max nodes
+// have arity <= 4, so inline capacity turns the per-node operand heap
+// allocation into plain struct storage.  The container is deliberately
+// minimal — exactly the surface the canonicalizers and their callers use —
+// and keeps vector-compatible iterator/semantics so call sites read the
+// same as before:
+//
+//   * contiguous storage, T* iterators, data()/size()/operator[];
+//   * push_back/emplace_back with amortized-doubling growth;
+//   * single-element insert/erase (the sorted-merge fast path in make_add);
+//   * construction from initializer lists and iterator ranges.
+//
+// Not thread-safe (like std::vector).  Iterators invalidate on growth and
+// on insert/erase, exactly as for std::vector.  T must be movable; moves
+// are used for relocation whenever they cannot throw.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace soap::support {
+
+template <class T, std::size_t N>
+class SmallVec {
+  static_assert(N >= 1, "SmallVec needs at least one inline slot");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using size_type = std::size_t;
+
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) unchecked_push(v);
+  }
+
+  template <class It>
+  SmallVec(It first, It last) {
+    assign(first, last);
+  }
+
+  SmallVec(const SmallVec& other) {
+    reserve(other.size_);
+    for (const T& v : other) unchecked_push(v);
+  }
+
+  SmallVec(SmallVec&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    steal_or_move(std::move(other));
+  }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (const T& v : other) unchecked_push(v);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (this != &other) {
+      clear();
+      release_heap();
+      steal_or_move(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    clear();
+    release_heap();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(std::size_t want) {
+    if (want > cap_) grow_to(want);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow_to(size_ + 1);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    data_[size_ - 1].~T();
+    --size_;
+  }
+
+  /// Inserts a single element before `pos` (vector semantics: returns an
+  /// iterator to the inserted element; invalidates iterators).
+  iterator insert(const_iterator pos, T value) {
+    std::size_t at = static_cast<std::size_t>(pos - data_);
+    if (size_ == cap_) grow_to(size_ + 1);  // recompute base after growth
+    if (at == size_) {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(value));
+    } else {
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(data_[size_ - 1]));
+      for (std::size_t i = size_ - 1; i > at; --i) {
+        data_[i] = std::move(data_[i - 1]);
+      }
+      data_[at] = std::move(value);
+    }
+    ++size_;
+    return data_ + at;
+  }
+
+  /// Erases the element at `pos`; returns an iterator to the next element.
+  iterator erase(const_iterator pos) {
+    std::size_t at = static_cast<std::size_t>(pos - data_);
+    for (std::size_t i = at + 1; i < size_; ++i) {
+      data_[i - 1] = std::move(data_[i]);
+    }
+    pop_back();
+    return data_ + at;
+  }
+
+  template <class It>
+  void assign(It first, It last) {
+    clear();
+    if constexpr (std::is_base_of_v<
+                      std::random_access_iterator_tag,
+                      typename std::iterator_traits<It>::iterator_category>) {
+      reserve(static_cast<std::size_t>(std::distance(first, last)));
+    }
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  void clear() {
+    for (std::size_t i = size_; i > 0; --i) data_[i - 1].~T();
+    size_ = 0;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* inline_slots() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  [[nodiscard]] bool is_inline() const {
+    return data_ == reinterpret_cast<const T*>(inline_);
+  }
+
+  void unchecked_push(const T& v) {
+    ::new (static_cast<void*>(data_ + size_)) T(v);
+    ++size_;
+  }
+
+  void grow_to(std::size_t want) {
+    std::size_t cap = std::max(cap_ * 2, want);
+    T* heap = static_cast<T*>(::operator new(cap * sizeof(T), kAlign));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(heap + i)) T(std::move_if_noexcept(data_[i]));
+      data_[i].~T();
+    }
+    release_heap();
+    data_ = heap;
+    cap_ = cap;
+  }
+
+  void release_heap() {
+    if (!is_inline()) ::operator delete(data_, kAlign);
+    data_ = inline_slots();
+    cap_ = N;
+  }
+
+  /// Move-construction core: steal the heap buffer outright, or move the
+  /// inline elements one by one.  `other` is left empty either way.
+  void steal_or_move(SmallVec&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (other.is_inline()) {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.clear();
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.data_ = other.inline_slots();
+      other.size_ = 0;
+      other.cap_ = N;
+    }
+  }
+
+  static constexpr std::align_val_t kAlign{alignof(T)};
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = reinterpret_cast<T*>(inline_);
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace soap::support

@@ -1,13 +1,17 @@
 #include "symbolic/expr.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <mutex>
 #include <ostream>
+#include <shared_mutex>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
+
+#include "support/arena.hpp"
 
 namespace soap::sym {
 
@@ -77,37 +81,63 @@ bool content_equal(const Node& a, const Node& b) {
   }
 }
 
-/// The hash-consing table.  Entries are weak: a node is evicted by its
-/// deleter when the last Expr referencing it dies, so the table never grows
-/// beyond the live working set.  Buckets are keyed by the content hash and
-/// hold (raw pointer, weak_ptr) pairs; the raw pointer lets the deleter
-/// erase exactly its own entry even if an equal-content node was re-interned
-/// while this one was dying.
-struct ExprInternTable {
-  std::mutex mu;
+/// The hash-consing table, sharded by the content hash: each shard owns a
+/// reader/writer lock, its slice of the weak bucket map, and an arena that
+/// pools the node storage *and* the shared_ptr control blocks.  Read-mostly
+/// lookups (re-interning an existing canonical form) take the shared lock;
+/// only first-time insertions and evictions take the exclusive lock, so
+/// concurrent make_* calls from different threads stop serializing on one
+/// global mutex.
+///
+/// Entries are weak: a node is evicted by its deleter when the last Expr
+/// referencing it dies, so each shard never grows beyond the live working
+/// set (the arenas recycle the freed slots).  Buckets are keyed by the
+/// content hash and hold (raw pointer, weak_ptr) pairs; the raw pointer lets
+/// the deleter erase exactly its own entry even if an equal-content node was
+/// re-interned while this one was dying.
+struct InternShard {
+  std::shared_mutex mu;
   std::unordered_map<std::size_t,
                      std::vector<std::pair<const Node*,
                                            std::weak_ptr<const Node>>>>
       buckets;
-  std::uint64_t next_id = 1;
+  // Leaf lock discipline: the arena's internal mutex may be taken while
+  // holding `mu` (control-block allocation during insertion) but never the
+  // other way around, and node destruction runs with no locks held.
+  support::Arena arena;
+};
+
+constexpr std::size_t kShardBits = 6;
+constexpr std::size_t kNumShards = 1u << kShardBits;  // 64
+
+struct ExprInternTable {
+  std::atomic<std::uint64_t> next_id{1};
+  InternShard shards[kNumShards];
 };
 
 // Leaked on purpose: Exprs held in static storage (test fixtures, golden
 // rows) may be destroyed after any static table would be, and their deleters
 // must still find the table.  The pointer stays reachable, so LeakSanitizer
-// does not flag it.
+// does not flag it (the shard arenas leak with it, equally reachable).
 ExprInternTable& expr_table() {
   static auto* t = new ExprInternTable();
   return *t;
 }
 
+/// Shard selection uses the high hash bits; the per-shard bucket map
+/// consumes the low bits, so the two layers of hashing stay independent.
+InternShard& shard_for(std::size_t hash) {
+  return expr_table().shards[hash >> (8 * sizeof(std::size_t) - kShardBits)];
+}
+
 struct NodeDeleter {
   void operator()(const Node* n) const {
-    ExprInternTable& t = expr_table();
+    const std::size_t hash = n->hash;  // survives ~Node below
+    InternShard& sh = shard_for(hash);
     {
-      std::lock_guard<std::mutex> lock(t.mu);
-      auto it = t.buckets.find(n->hash);
-      if (it != t.buckets.end()) {
+      std::unique_lock<std::shared_mutex> lock(sh.mu);
+      auto it = sh.buckets.find(hash);
+      if (it != sh.buckets.end()) {
         auto& vec = it->second;
         for (auto vit = vec.begin(); vit != vec.end(); ++vit) {
           if (vit->first == n) {
@@ -115,11 +145,14 @@ struct NodeDeleter {
             break;
           }
         }
-        if (vec.empty()) t.buckets.erase(it);
+        if (vec.empty()) sh.buckets.erase(it);
       }
     }
-    // Outside the lock: destroying operands may recursively run deleters.
-    delete n;
+    // Outside the lock: destroying operands may recursively run deleters
+    // (each taking its own shard lock, never nested under ours).
+    auto* m = const_cast<Node*>(n);
+    m->~Node();
+    sh.arena.deallocate(m, sizeof(Node), alignof(Node));
   }
 };
 
@@ -137,19 +170,19 @@ void fill_symbol_cache(Node* n) {
   n->tree_size = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(size, 0xffffffffu));
   if (n->operands.size() == 1) {
-    n->symbol_ids = n->operands[0].symbol_ids();
-    n->sym_mask = n->operands[0].node().sym_mask;
+    const Node& o = n->operands[0].node();
+    n->symbol_ids = o.symbol_ids;
+    n->sym_mask = o.sym_mask;
     return;
   }
-  std::vector<SymId> merged;
+  support::SmallVec<SymId, 32> merged;  // inline: SOAP kernels stay tiny
   for (const Expr& o : n->operands) {
-    const auto& ids = o.symbol_ids();
-    merged.insert(merged.end(), ids.begin(), ids.end());
+    for (SymId id : o.symbol_ids()) merged.push_back(id);
     n->sym_mask |= o.node().sym_mask;
   }
   std::sort(merged.begin(), merged.end());
-  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-  n->symbol_ids = std::move(merged);
+  auto last = std::unique(merged.begin(), merged.end());
+  n->symbol_ids.assign(merged.begin(), last);
 }
 
 /// Memoization pays for itself only when an expression actually shares
@@ -159,28 +192,92 @@ constexpr std::uint32_t kMemoThreshold = 64;
 
 NodePtr intern_node(Node&& n) {
   n.hash = content_hash(n);
+  InternShard& sh = shard_for(n.hash);
+  // Wide composites are almost always freshly canonicalized intermediates
+  // (each step of an incremental sum/product fold makes a new one), so the
+  // read-locked probe would miss and the work would repeat under the
+  // exclusive lock.  Skip straight to the exclusive probe-and-insert for
+  // them; the read-mostly hit traffic — constants, symbols, powers, small
+  // composites — keeps the concurrent shared-lock fast path.
+  const bool likely_fresh = n.operands.size() > 4;
+  if (!likely_fresh) {
+    // Read-mostly fast path: re-interning an existing canonical form only
+    // takes the shared lock.
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    auto it = sh.buckets.find(n.hash);
+    if (it != sh.buckets.end()) {
+      for (const auto& [raw, weak] : it->second) {
+        if (content_equal(*raw, n)) {
+          if (NodePtr sp = weak.lock()) return sp;
+          // Expired: the equal node is mid-destruction; insert a fresh copy
+          // below (its deleter erases by pointer, so the entries can't mix).
+        }
+      }
+    }
+  }
+  // Probe missed: this node will (almost certainly) be interned, so build
+  // its symbol cache now, outside any lock.  Hit-path interns — the common
+  // case in steady-state analysis — never pay for it.
   fill_symbol_cache(&n);
-  ExprInternTable& t = expr_table();
-  std::lock_guard<std::mutex> lock(t.mu);
-  auto& vec = t.buckets[n.hash];
+  std::unique_lock<std::shared_mutex> lock(sh.mu);
+  auto& vec = sh.buckets[n.hash];
+  // Re-scan under the exclusive lock: another thread may have inserted the
+  // same canonical form between the two lock scopes.
   for (const auto& [raw, weak] : vec) {
     if (content_equal(*raw, n)) {
       if (NodePtr sp = weak.lock()) return sp;
-      // Expired entry: the equal node is mid-destruction on another thread;
-      // fall through and intern a fresh copy (its deleter erases by pointer).
     }
   }
-  n.id = t.next_id++;
-  NodePtr p(new Node(std::move(n)), NodeDeleter{});
-  vec.emplace_back(p.get(), std::weak_ptr<const Node>(p));
-  return p;
+  n.id = expr_table().next_id.fetch_add(1, std::memory_order_relaxed);
+  void* slot = sh.arena.allocate(sizeof(Node), alignof(Node));
+  const Node* p = new (slot) Node(std::move(n));
+  // The control block is pooled in the same shard arena (leaf lock, see
+  // InternShard); the custom deleter runs the eviction protocol above.
+  NodePtr sp(p, NodeDeleter{},
+             support::ArenaAllocator<const Node>(&sh.arena));
+  vec.emplace_back(p, std::weak_ptr<const Node>(sp));
+  return sp;
 }
 
-NodePtr intern_const(const Rational& r) {
+NodePtr intern_const_slow(const Rational& r) {
   Node n;
   n.kind = Kind::kConst;
   n.value = r;
   return intern_node(std::move(n));
+}
+
+NodePtr intern_const(const Rational& r) {
+  // The tiny integers dominate constant traffic (every operator- interns -1,
+  // every division interns an exponent of -1's base, coefficients start at
+  // 1/2); pinning them skips the whole table round-trip.  Function-local
+  // statics keep exactly these four nodes alive for the process lifetime.
+  if (r.is_integer()) {
+    switch (static_cast<int>(r.num() == 0   ? 0
+                             : r.num() == 1 ? 1
+                             : r.num() == 2 ? 2
+                             : r.num() == -1 ? 3
+                                             : 4)) {
+      case 0: {
+        static const NodePtr n = intern_const_slow(Rational(0));
+        return n;
+      }
+      case 1: {
+        static const NodePtr n = intern_const_slow(Rational(1));
+        return n;
+      }
+      case 2: {
+        static const NodePtr n = intern_const_slow(Rational(2));
+        return n;
+      }
+      case 3: {
+        static const NodePtr n = intern_const_slow(Rational(-1));
+        return n;
+      }
+      default:
+        break;
+    }
+  }
+  return intern_const_slow(r);
 }
 
 NodePtr intern_sym(SymId id) {
@@ -191,7 +288,7 @@ NodePtr intern_sym(SymId id) {
   return intern_node(std::move(n));
 }
 
-NodePtr intern_composite(Kind kind, std::vector<Expr> operands,
+NodePtr intern_composite(Kind kind, ExprVec operands,
                          const Rational& exponent = Rational(0)) {
   Node n;
   n.kind = kind;
@@ -220,9 +317,6 @@ void extract_qth_power(int128 v, long long q, int128* root, int128* rest) {
 }
 
 }  // namespace
-
-Expr make_add(std::vector<Expr> terms);
-Expr make_mul(std::vector<Expr> factors);
 
 namespace detail {
 /// expr.cpp-internal privilege bridge: lets file-local helpers wrap interned
@@ -278,8 +372,8 @@ int Expr::compare(const Expr& a, const Expr& b) {
       return cmp_rational(a.exponent(), b.exponent());
     }
     default: {
-      const auto& oa = a.operands();
-      const auto& ob = b.operands();
+      const auto oa = a.operands();
+      const auto ob = b.operands();
       for (std::size_t i = 0; i < std::min(oa.size(), ob.size()); ++i) {
         int c = compare(oa[i], ob[i]);
         if (c != 0) return c;
@@ -300,13 +394,13 @@ bool expr_less(const Expr& a, const Expr& b) {
 std::pair<Rational, Expr> split_coefficient(const Expr& term) {
   if (term.is_const()) return {term.value(), Expr(1)};
   if (term.kind() == Kind::kMul) {
-    const auto& ops = term.operands();
+    const auto ops = term.operands();
     if (!ops.empty() && ops[0].is_const()) {
       if (ops.size() == 2) return {ops[0].value(), ops[1]};
       // The factors of a canonical Mul are already canonical and sorted, so
       // the core can be interned directly instead of re-canonicalized
       // through make_mul — this runs for every term of every sum rebuild.
-      std::vector<Expr> rest(ops.begin() + 1, ops.end());
+      ExprVec rest(ops.begin() + 1, ops.end());
       return {ops[0].value(),
               Expr(intern_composite(Kind::kMul, std::move(rest)))};
     }
@@ -322,10 +416,10 @@ namespace {
 /// Requires coeff not in {0, 1} and core non-const.
 Expr scale_core(const Rational& coeff, const Expr& core) {
   if (core.kind() == Kind::kMul) {
-    std::vector<Expr> fs;
+    ExprVec fs;
     fs.reserve(core.operands().size() + 1);
     fs.emplace_back(coeff);
-    fs.insert(fs.end(), core.operands().begin(), core.operands().end());
+    for (const Expr& f : core.operands()) fs.push_back(f);
     return detail::ExprFactory::wrap(
         intern_composite(Kind::kMul, std::move(fs)));
   }
@@ -338,10 +432,10 @@ Expr scale_core(const Rational& coeff, const Expr& core) {
 bool term_has_core(const Expr& t, const Expr& core) {
   if (t == core) return true;  // coefficient 1
   if (t.kind() != Kind::kMul) return false;
-  const auto& ops = t.operands();
+  const auto ops = t.operands();
   if (!ops[0].is_const()) return false;
   if (core.kind() == Kind::kMul) {
-    const auto& cops = core.operands();
+    const auto cops = core.operands();
     if (ops.size() != cops.size() + 1) return false;
     for (std::size_t i = 0; i < cops.size(); ++i) {
       if (ops[i + 1] != cops[i]) return false;
@@ -357,7 +451,8 @@ bool term_has_core(const Expr& t, const Expr& core) {
 /// all summands (which made repeated `sum = sum + term` quadratic in
 /// allocations and hashing).
 Expr add_one_term(const Expr& sum, const Expr& t) {
-  std::vector<Expr> out(sum.operands());
+  const auto sops = sum.operands();
+  ExprVec out(sops.begin(), sops.end());
   if (t.is_const()) {
     if (!t.value().is_zero()) {
       if (out[0].is_const()) {
@@ -400,7 +495,7 @@ Expr add_one_term(const Expr& sum, const Expr& t) {
 
 }  // namespace
 
-Expr make_add(std::vector<Expr> terms) {
+Expr make_add(ExprVec terms) {
   if (terms.size() == 2) {
     // operator+/operator- funnel here; merging one term into an existing
     // canonical sum is the analysis hot path (bound assembly, Faulhaber).
@@ -411,12 +506,22 @@ Expr make_add(std::vector<Expr> terms) {
       return add_one_term(terms[1], terms[0]);
     }
   }
-  // Flatten, fold constants, combine like terms.  Like-term lookup is O(1)
-  // via the cached node hash + pointer equality; the (small) set of distinct
-  // cores is sorted structurally once at the end.
+  // Flatten, fold constants, combine like terms.  The like-term map is a
+  // flat vector probed linearly with pointer equality: real sums have few
+  // distinct cores, and the flat layout skips the per-entry heap nodes a
+  // hash map would allocate on this hot path.
   Rational const_sum = 0;
-  std::unordered_map<Expr, Rational> by_core;
-  std::vector<Expr> work = std::move(terms);
+  support::SmallVec<std::pair<Expr, Rational>, 8> by_core;
+  auto accumulate = [&by_core](const Expr& core, const Rational& coeff) {
+    for (auto& [c, acc] : by_core) {
+      if (c == core) {
+        acc += coeff;
+        return;
+      }
+    }
+    by_core.emplace_back(core, coeff);
+  };
+  ExprVec work = std::move(terms);
   for (std::size_t i = 0; i < work.size(); ++i) {
     const Expr t = work[i];  // by value: work may reallocate below
     if (t.kind() == Kind::kAdd) {
@@ -428,9 +533,9 @@ Expr make_add(std::vector<Expr> terms) {
       continue;
     }
     auto [coeff, core] = split_coefficient(t);
-    by_core[core] += coeff;
+    accumulate(core, coeff);
   }
-  std::vector<Expr> out;
+  ExprVec out;
   if (!const_sum.is_zero()) out.emplace_back(const_sum);
   for (const auto& [core, coeff] : by_core) {
     if (coeff.is_zero()) continue;
@@ -442,11 +547,22 @@ Expr make_add(std::vector<Expr> terms) {
   return Expr(intern_composite(Kind::kAdd, std::move(out)));
 }
 
-Expr make_mul(std::vector<Expr> factors) {
+Expr make_mul(ExprVec factors) {
   Rational const_prod = 1;
-  // base -> accumulated exponent (O(1) lookup via cached hashes).
-  std::unordered_map<Expr, Rational> by_base;
-  std::vector<Expr> work = std::move(factors);
+  // base -> accumulated exponent.  Flat like-factor map, linear pointer-
+  // equality probes: products have a handful of distinct bases and the flat
+  // layout avoids hash-map node allocations on this hot path.
+  support::SmallVec<std::pair<Expr, Rational>, 8> by_base;
+  auto accumulate = [&by_base](const Expr& base, const Rational& e) {
+    for (auto& [b, acc] : by_base) {
+      if (b == base) {
+        acc += e;
+        return;
+      }
+    }
+    by_base.emplace_back(base, e);
+  };
+  ExprVec work = std::move(factors);
   for (std::size_t i = 0; i < work.size(); ++i) {
     const Expr f = work[i];  // by value: work may reallocate below
     if (f.kind() == Kind::kMul) {
@@ -458,9 +574,9 @@ Expr make_mul(std::vector<Expr> factors) {
       continue;
     }
     if (f.kind() == Kind::kPow) {
-      by_base[f.operands()[0]] += f.exponent();
+      accumulate(f.operands()[0], f.exponent());
     } else {
-      by_base[f] += Rational(1);
+      accumulate(f, Rational(1));
     }
   }
   if (const_prod.is_zero()) return Expr(0);
@@ -473,21 +589,21 @@ Expr make_mul(std::vector<Expr> factors) {
                return a < b;
              })>
         radicals;
-    for (auto it = by_base.begin(); it != by_base.end();) {
-      if (it->first.is_const() && !it->second.is_integer()) {
-        Rational& acc = radicals.try_emplace(it->second, Rational(1))
+    for (std::size_t i = 0; i < by_base.size();) {
+      if (by_base[i].first.is_const() && !by_base[i].second.is_integer()) {
+        Rational& acc = radicals.try_emplace(by_base[i].second, Rational(1))
                             .first->second;
-        acc *= it->first.value();
-        it = by_base.erase(it);
+        acc *= by_base[i].first.value();
+        by_base.erase(by_base.begin() + i);
       } else {
-        ++it;
+        ++i;
       }
     }
     for (const auto& [e, radicand] : radicals) {
-      by_base[Expr(radicand)] += e;
+      accumulate(Expr(radicand), e);
     }
   }
-  std::vector<Expr> out;
+  ExprVec out;
   for (const auto& [base, e] : by_base) {
     if (e.is_zero()) continue;
     Expr p = pow(base, e);  // may fold (e.g. const bases, nested pows)
@@ -549,7 +665,7 @@ Expr pow(const Expr& base, const Rational& e) {
     return pow(base.operands()[0], base.exponent() * e);
   }
   if (base.kind() == Kind::kMul) {
-    std::vector<Expr> factors;
+    ExprVec factors;
     factors.reserve(base.operands().size());
     for (const Expr& f : base.operands()) factors.push_back(pow(f, e));
     return make_mul(std::move(factors));
@@ -564,12 +680,11 @@ namespace {
 /// with hash-consing, equal operands are the same node, so compare()==0 iff
 /// pointer-equal.
 template <class PickConst>
-std::vector<Expr> fold_minmax(Kind kind, std::vector<Expr> args,
-                              PickConst pick) {
-  std::vector<Expr> out;
+ExprVec fold_minmax(Kind kind, ExprVec args, PickConst pick) {
+  ExprVec out;
   bool have_const = false;
   Rational best = 0;
-  std::vector<Expr> work = std::move(args);
+  ExprVec work = std::move(args);
   for (std::size_t i = 0; i < work.size(); ++i) {
     const Expr a = work[i];  // by value: work may reallocate below
     if (a.kind() == kind) {
@@ -585,24 +700,25 @@ std::vector<Expr> fold_minmax(Kind kind, std::vector<Expr> args,
   }
   if (have_const) out.emplace_back(best);
   std::sort(out.begin(), out.end(), expr_less);
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+  auto last = std::unique(out.begin(), out.end());
+  while (out.end() != last) out.pop_back();
   return out;
 }
 
 }  // namespace
 
-Expr min(std::vector<Expr> args) {
+Expr min(ExprVec args) {
   if (args.empty()) throw std::invalid_argument("min: no arguments");
-  std::vector<Expr> out = fold_minmax(
+  ExprVec out = fold_minmax(
       Kind::kMin, std::move(args),
       [](const Rational& a, const Rational& b) { return a < b; });
   if (out.size() == 1) return out[0];
   return Expr(intern_composite(Kind::kMin, std::move(out)));
 }
 
-Expr max(std::vector<Expr> args) {
+Expr max(ExprVec args) {
   if (args.empty()) throw std::invalid_argument("max: no arguments");
-  std::vector<Expr> out = fold_minmax(
+  ExprVec out = fold_minmax(
       Kind::kMax, std::move(args),
       [](const Rational& a, const Rational& b) { return a > b; });
   if (out.size() == 1) return out[0];
@@ -722,7 +838,7 @@ Expr subs_impl(const Expr& e, const SymMap<Expr>& env, std::uint64_t env_mask,
   Expr result;
   switch (e.kind()) {
     case Kind::kAdd: {
-      std::vector<Expr> ts;
+      ExprVec ts;
       ts.reserve(e.operands().size());
       for (const Expr& t : e.operands())
         ts.push_back(subs_impl(t, env, env_mask, memo));
@@ -730,7 +846,7 @@ Expr subs_impl(const Expr& e, const SymMap<Expr>& env, std::uint64_t env_mask,
       break;
     }
     case Kind::kMul: {
-      std::vector<Expr> fs;
+      ExprVec fs;
       fs.reserve(e.operands().size());
       for (const Expr& f : e.operands())
         fs.push_back(subs_impl(f, env, env_mask, memo));
@@ -742,7 +858,7 @@ Expr subs_impl(const Expr& e, const SymMap<Expr>& env, std::uint64_t env_mask,
                    e.exponent());
       break;
     case Kind::kMin: {
-      std::vector<Expr> as;
+      ExprVec as;
       as.reserve(e.operands().size());
       for (const Expr& a : e.operands())
         as.push_back(subs_impl(a, env, env_mask, memo));
@@ -750,7 +866,7 @@ Expr subs_impl(const Expr& e, const SymMap<Expr>& env, std::uint64_t env_mask,
       break;
     }
     case Kind::kMax: {
-      std::vector<Expr> as;
+      ExprVec as;
       as.reserve(e.operands().size());
       for (const Expr& a : e.operands())
         as.push_back(subs_impl(a, env, env_mask, memo));
@@ -801,19 +917,19 @@ Expr diff_impl(const Expr& e, SymId var,
   Expr result;
   switch (e.kind()) {
     case Kind::kAdd: {
-      std::vector<Expr> ts;
+      ExprVec ts;
       for (const Expr& t : e.operands()) ts.push_back(diff_impl(t, var, memo));
       result = make_add(std::move(ts));
       break;
     }
     case Kind::kMul: {
       // Product rule: sum_i f_i' * prod_{j != i} f_j.
-      std::vector<Expr> terms;
-      const auto& ops = e.operands();
+      ExprVec terms;
+      const auto ops = e.operands();
       for (std::size_t i = 0; i < ops.size(); ++i) {
         Expr d = diff_impl(ops[i], var, memo);
         if (d.is_zero()) continue;
-        std::vector<Expr> fs = {d};
+        ExprVec fs = {d};
         for (std::size_t j = 0; j < ops.size(); ++j)
           if (j != i) fs.push_back(ops[j]);
         terms.push_back(make_mul(std::move(fs)));
@@ -877,9 +993,8 @@ namespace {
 /// branches of expand(): distributing through operator* instead would
 /// re-canonicalize b*b into the very Pow being expanded and recurse forever,
 /// which is why both call sites must use this one helper.
-std::vector<Expr> distribute_terms(const std::vector<Expr>& acc,
-                                   const std::vector<Expr>& addends) {
-  std::vector<Expr> next;
+ExprVec distribute_terms(const ExprVec& acc, std::span<const Expr> addends) {
+  ExprVec next;
   next.reserve(acc.size() * addends.size());
   for (const Expr& p : acc) {
     for (const Expr& t : addends) next.push_back(make_mul({p, t}));
@@ -887,10 +1002,10 @@ std::vector<Expr> distribute_terms(const std::vector<Expr>& acc,
   return next;
 }
 
-const std::vector<Expr>& addends_of(const Expr& e, std::vector<Expr>* single) {
+std::span<const Expr> addends_of(const Expr& e, Expr* single) {
   if (e.kind() == Kind::kAdd) return e.operands();
-  *single = {e};
-  return *single;
+  *single = e;
+  return {single, 1};
 }
 
 Expr expand_impl(const Expr& e,
@@ -909,17 +1024,18 @@ Expr expand_impl(const Expr& e,
   Expr result;
   switch (e.kind()) {
     case Kind::kAdd: {
-      std::vector<Expr> ts;
+      ExprVec ts;
+      ts.reserve(e.operands().size());
       for (const Expr& t : e.operands()) ts.push_back(expand_impl(t, memo));
       result = make_add(std::move(ts));
       break;
     }
     case Kind::kMul: {
       // Expand factors, then distribute over sums left to right.
-      std::vector<Expr> partial = {Expr(1)};
+      ExprVec partial = {Expr(1)};
       for (const Expr& f0 : e.operands()) {
         Expr f = expand_impl(f0, memo);
-        std::vector<Expr> single;
+        Expr single;
         partial = distribute_terms(partial, addends_of(f, &single));
       }
       result = make_add(std::move(partial));
@@ -930,8 +1046,8 @@ Expr expand_impl(const Expr& e,
       const Rational& ex = e.exponent();
       if (b.kind() == Kind::kAdd && ex.is_integer() && ex > Rational(1) &&
           ex <= Rational(8)) {
-        const std::vector<Expr>& bt = b.operands();
-        std::vector<Expr> acc = {Expr(1)};
+        const std::span<const Expr> bt = b.operands();
+        ExprVec acc = {Expr(1)};
         for (long long i = 0; i < ex.to_int(); ++i) {
           acc = distribute_terms(acc, bt);
         }
@@ -942,13 +1058,15 @@ Expr expand_impl(const Expr& e,
       break;
     }
     case Kind::kMin: {
-      std::vector<Expr> as;
+      ExprVec as;
+      as.reserve(e.operands().size());
       for (const Expr& a : e.operands()) as.push_back(expand_impl(a, memo));
       result = min(std::move(as));
       break;
     }
     case Kind::kMax: {
-      std::vector<Expr> as;
+      ExprVec as;
+      as.reserve(e.operands().size());
       for (const Expr& a : e.operands()) as.push_back(expand_impl(a, memo));
       result = max(std::move(as));
       break;
@@ -1079,8 +1197,10 @@ bool numerically_equal(const Expr& a, const Expr& b,
   // Union of the two cached symbol sets, ordered by *name* so the sample
   // assignments reproduce the historical string-based implementation bit for
   // bit (and stay stable across runs regardless of intern order).
-  std::vector<SymId> ids = a.symbol_ids();
-  ids.insert(ids.end(), b.symbol_ids().begin(), b.symbol_ids().end());
+  const auto a_ids = a.symbol_ids();
+  const auto b_ids = b.symbol_ids();
+  std::vector<SymId> ids(a_ids.begin(), a_ids.end());
+  ids.insert(ids.end(), b_ids.begin(), b_ids.end());
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   std::vector<std::pair<std::string, SymId>> by_name;
@@ -1116,10 +1236,17 @@ bool numerically_equal(const Expr& a, const Expr& b, double tol) {
 
 InternStats expr_intern_stats() {
   ExprInternTable& t = expr_table();
-  std::lock_guard<std::mutex> lock(t.mu);
   InternStats stats;
-  for (const auto& [hash, vec] : t.buckets) stats.live_nodes += vec.size();
-  stats.total_interned = t.next_id - 1;
+  stats.shards = kNumShards;
+  for (InternShard& sh : t.shards) {
+    std::shared_lock<std::shared_mutex> lock(sh.mu);
+    for (const auto& [hash, vec] : sh.buckets) stats.live_nodes += vec.size();
+    support::Arena::Stats as = sh.arena.stats();
+    stats.arena_blocks += as.blocks;
+    stats.arena_bytes += as.bytes_reserved;
+  }
+  stats.total_interned =
+      t.next_id.load(std::memory_order_relaxed) - 1;
   return stats;
 }
 

@@ -52,13 +52,11 @@ Expr leading_term(const Expr& e, const SymIdSet& syms) {
   if (x.kind() != Kind::kAdd) return x;
   Rational best(-1000000);
   for (const Expr& t : x.operands()) best = std::max(best, term_degree(t, syms));
-  std::vector<Expr> keep;
+  ExprVec keep;
   for (const Expr& t : x.operands()) {
     if (term_degree(t, syms) == best) keep.push_back(t);
   }
-  Expr out(0);
-  for (const Expr& t : keep) out = out + t;
-  return out;
+  return make_add(std::move(keep));
 }
 
 Expr leading_term(const Expr& e, const std::vector<std::string>& syms) {

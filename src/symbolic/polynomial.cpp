@@ -166,19 +166,21 @@ Polynomial Polynomial::leading_terms() const {
 }
 
 Expr Polynomial::to_expr() const {
-  std::vector<Expr> terms;
+  // Batch canonicalization: one make_mul per monomial and one make_add over
+  // all terms replace the quadratic operator*/operator+ folding chains.  The
+  // canonical result node is identical (same term multiset), so eval() keeps
+  // its floating-point ordering.
+  ExprVec terms;
   for (const auto& [m, c] : terms_) {
-    std::vector<Expr> factors = {Expr(c)};
+    ExprVec factors;
+    factors.reserve(m.size() + 1);
+    factors.emplace_back(c);
     for (const auto& [v, e] : m) {
       factors.push_back(pow(Expr::symbol(v), Rational(e)));
     }
-    Expr t = factors[0];
-    for (std::size_t i = 1; i < factors.size(); ++i) t = t * factors[i];
-    terms.push_back(t);
+    terms.push_back(make_mul(std::move(factors)));
   }
-  Expr out(0);
-  for (const Expr& t : terms) out = out + t;
-  return out;
+  return make_add(std::move(terms));
 }
 
 double Polynomial::eval(const std::map<std::string, double>& env) const {

@@ -3,6 +3,8 @@
 // the memoized rewriters on DAG-shaped (heavily shared) expressions.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -88,6 +90,117 @@ TEST(HashConsing, DeadNodesAreEvicted) {
   // the table returns to (at most) its prior size plus the shared leaf
   // nodes that pre-existed.
   EXPECT_LE(after.live_nodes, before.live_nodes + 4);
+}
+
+TEST(HashConsing, ConcurrentMakeConvergesToSameNode) {
+  // Many threads race make_* on structurally equal expressions; the sharded
+  // intern table must hand every thread the very same canonical node (the
+  // pointer-identity invariant everything above relies on), shard locks or
+  // not.  Each round uses fresh structure so at least one thread loses the
+  // probe-then-insert race every time.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 100;
+  std::vector<std::vector<Expr>> built(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &built, &ready] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }  // start together to maximize racing
+      std::vector<Expr>& mine = built[static_cast<std::size_t>(t)];
+      mine.reserve(kRounds);
+      for (int r = 0; r < kRounds; ++r) {
+        Expr n = Expr::symbol("hc_race_n");
+        Expr s = Expr::symbol("hc_race_s");
+        mine.push_back(Expr(r + 2) * n * n / sqrt(s) + pow(n, Rational(r + 2)) +
+                       min({n, s + Expr(r)}));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    for (int r = 0; r < kRounds; ++r) {
+      const Expr& a = built[0][static_cast<std::size_t>(r)];
+      const Expr& b = built[static_cast<std::size_t>(t)][
+          static_cast<std::size_t>(r)];
+      ASSERT_EQ(a, b);
+      ASSERT_EQ(&a.node(), &b.node());  // pointer-identical across threads
+      ASSERT_EQ(a.id(), b.id());
+    }
+  }
+}
+
+TEST(HashConsing, ConcurrentDisjointInterningIsConsistent) {
+  // Per-thread expression families (disjoint symbols -> mostly disjoint
+  // shards) interned concurrently; each must match a serial rebuild.
+  constexpr int kThreads = 8;
+  std::vector<Expr> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &results] {
+      Expr x = Expr::symbol("hc_dis_" + std::to_string(t));
+      Expr acc(0);
+      for (int i = 1; i <= 20; ++i) {
+        acc = acc + Expr(i) * pow(x, Rational(i % 5 + 1));
+      }
+      results[static_cast<std::size_t>(t)] = acc;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    Expr x = Expr::symbol("hc_dis_" + std::to_string(t));
+    Expr acc(0);
+    for (int i = 1; i <= 20; ++i) {
+      acc = acc + Expr(i) * pow(x, Rational(i % 5 + 1));
+    }
+    EXPECT_EQ(results[static_cast<std::size_t>(t)], acc);
+    EXPECT_EQ(&results[static_cast<std::size_t>(t)].node(), &acc.node());
+  }
+}
+
+TEST(HashConsing, EvictionRaceUnderChurn) {
+  // The lifetime contract under the arena: weak eviction, where the node
+  // deleter re-locks the owning shard to erase its table entry and then
+  // returns the slot to the shard arena.  Race creation and destruction of
+  // *structurally equal* temporaries across threads so deleters interleave
+  // with probes that find the dying entry (the weak_ptr::lock-fails path),
+  // then check the table drains back to its pre-test size.
+  InternStats before = expr_intern_stats();
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ready] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        // Same structure in every thread at the same round: maximal
+        // create/evict contention on the same nodes.
+        Expr e = Expr::symbol("hc_churn") * Expr(r % 16 + 1) +
+                 pow(Expr::symbol("hc_churn2"), Rational(r % 5 + 2));
+        Expr f = e * e + Expr(1);
+        testing::sink(f);
+        // e and f drop here; their deleters erase the shard entries while
+        // sibling threads may be interning the same structural nodes.
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  InternStats after = expr_intern_stats();
+  // Every temporary died with its last reference.  Headroom: the handful of
+  // leaf nodes pinned process-wide (the small-constant cache and the zero
+  // node) that this test may have been the first to intern.
+  EXPECT_LE(after.live_nodes, before.live_nodes + 8);
+  // The table is still consistent after the churn.
+  Expr n1 = Expr::symbol("hc_churn");
+  Expr n2 = Expr::symbol("hc_churn");
+  EXPECT_EQ(&n1.node(), &n2.node());
 }
 
 TEST(HashConsing, CachedSymbolSets) {

@@ -1,0 +1,142 @@
+// SmallVec<T, N>: the inline-capacity operand storage of the symbolic core.
+// Exercises the inline <-> heap transition, vector-compatible mutation
+// (insert/erase/assign), move semantics (buffer steal vs element move), and
+// element lifetime accounting with a throwless instrumented type.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/small_vec.hpp"
+
+namespace soap::support {
+namespace {
+
+/// Counts live instances so every test can assert nothing leaks or is
+/// double-destroyed across growth, moves, and erasure.
+struct Counted {
+  static int live;
+  int value = 0;
+
+  Counted() { ++live; }
+  explicit Counted(int v) : value(v) { ++live; }
+  Counted(const Counted& o) : value(o.value) { ++live; }
+  Counted(Counted&& o) noexcept : value(o.value) { ++live; }
+  Counted& operator=(const Counted&) = default;
+  Counted& operator=(Counted&&) = default;
+  ~Counted() { --live; }
+
+  friend bool operator==(const Counted& a, const Counted& b) {
+    return a.value == b.value;
+  }
+};
+int Counted::live = 0;
+
+TEST(SmallVec, StaysInlineUpToN) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 4u);
+  const int* inline_data = v.data();
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.data(), inline_data);  // no heap allocation yet
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, SpillsToHeapBeyondNAndKeepsContents) {
+  SmallVec<int, 4> v;
+  const int* inline_data = v.data();
+  for (int i = 0; i < 37; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 37u);
+  EXPECT_NE(v.data(), inline_data);
+  EXPECT_GE(v.capacity(), 37u);
+  for (int i = 0; i < 37; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  // Contiguity: iterator arithmetic and std algorithms work.
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 36 * 37 / 2);
+}
+
+TEST(SmallVec, InsertEraseMatchVectorSemantics) {
+  SmallVec<int, 2> sv;
+  std::vector<int> ref;
+  auto both_insert = [&](std::size_t at, int value) {
+    sv.insert(sv.begin() + static_cast<std::ptrdiff_t>(at), value);
+    ref.insert(ref.begin() + static_cast<std::ptrdiff_t>(at), value);
+  };
+  both_insert(0, 10);
+  both_insert(0, 5);   // front
+  both_insert(2, 20);  // back (== size)
+  both_insert(1, 7);   // middle, forces growth past inline capacity
+  both_insert(4, 30);
+  ASSERT_EQ(sv.size(), ref.size());
+  EXPECT_TRUE(std::equal(sv.begin(), sv.end(), ref.begin()));
+
+  auto it = sv.erase(sv.begin() + 1);
+  ref.erase(ref.begin() + 1);
+  EXPECT_EQ(*it, ref[1]);
+  sv.erase(sv.begin() + static_cast<std::ptrdiff_t>(sv.size() - 1));
+  ref.pop_back();
+  ASSERT_EQ(sv.size(), ref.size());
+  EXPECT_TRUE(std::equal(sv.begin(), sv.end(), ref.begin()));
+}
+
+TEST(SmallVec, MoveStealsHeapBuffer) {
+  SmallVec<std::string, 2> a;
+  for (int i = 0; i < 8; ++i) a.push_back("s" + std::to_string(i));
+  const std::string* heap = a.data();
+  SmallVec<std::string, 2> b(std::move(a));
+  EXPECT_EQ(b.data(), heap);  // heap buffer moved wholesale
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[7], "s7");
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): documented state
+  a.push_back("reuse-after-move");  // moved-from object is reusable
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(SmallVec, MoveOfInlineContentsMovesElements) {
+  SmallVec<std::string, 4> a{"alpha", "beta"};
+  SmallVec<std::string, 4> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], "alpha");
+  EXPECT_EQ(b[1], "beta");
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVec, AssignAndCopyAndEquality) {
+  std::vector<int> src(10);
+  std::iota(src.begin(), src.end(), 0);
+  SmallVec<int, 4> v;
+  v.assign(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 10u);
+  SmallVec<int, 4> w = v;
+  EXPECT_EQ(w, v);
+  w.pop_back();
+  EXPECT_NE(w, v);
+  w = v;  // copy-assign restores equality
+  EXPECT_EQ(w, v);
+}
+
+TEST(SmallVec, NoLeaksAcrossGrowthMovesAndClear) {
+  ASSERT_EQ(Counted::live, 0);
+  {
+    SmallVec<Counted, 3> v;
+    for (int i = 0; i < 25; ++i) v.emplace_back(i);
+    EXPECT_EQ(Counted::live, 25);
+    v.erase(v.begin() + 5);
+    EXPECT_EQ(Counted::live, 24);
+    SmallVec<Counted, 3> w(std::move(v));
+    EXPECT_EQ(Counted::live, 24);
+    w.clear();
+    EXPECT_EQ(Counted::live, 0);
+    w.emplace_back(1);
+    SmallVec<Counted, 3> x;
+    x.emplace_back(2);
+    x = std::move(w);  // move-assign over a non-empty target
+    EXPECT_EQ(Counted::live, 1);
+  }
+  EXPECT_EQ(Counted::live, 0);
+}
+
+}  // namespace
+}  // namespace soap::support
