@@ -32,6 +32,21 @@
 //                                        # its bound (soundness gate)
 //   soap_analyze --cache-sizes N,N,...   # fast-memory sizes swept by
 //                                        # --attainment (default 96,384)
+//   soap_analyze --kernel NAME           # analyze one registered kernel
+//                                        # with its recorded configuration
+//   soap_analyze --timeout-ms N          # wall-clock deadline on the
+//                                        # analysis (0 = unlimited); a trip
+//                                        # degrades to the per-statement
+//                                        # bound and exits 4
+//   soap_analyze --node-budget N         # cap on live interned symbolic
+//                                        # nodes (0 = unlimited); a trip
+//                                        # degrades and exits 5
+//
+// Exit codes follow support::StatusCode (docs/ROBUSTNESS.md): 0 ok,
+// 1 internal error, 2 invalid input/usage, 3 optimizer no-converge,
+// 4 deadline exceeded, 5 budget exceeded, 6 cancelled.  A degraded run
+// still prints its (per-statement) bound before exiting with the trip
+// code, so callers get the partial result and the reason.
 //
 // Any malformed flag value or unknown option prints the usage message and
 // exits non-zero.
@@ -48,6 +63,7 @@
 #include "sdg/multi_statement.hpp"
 #include "sdg/sdg.hpp"
 #include "soap/program.hpp"
+#include "support/cancel.hpp"
 #include "support/parse.hpp"
 
 namespace {
@@ -56,13 +72,15 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--sdg] [--threads N] [--max-subgraph-size N] "
                "[--max-subgraphs N] [file]\n"
-               "       %s --list-kernels | --corpus | --family NAME "
-               "[--threads N]\n"
+               "       %s --list-kernels | --corpus | --family NAME | "
+               "--kernel NAME [--threads N]\n"
                "       %s --attainment [--family NAME] "
                "[--cache-sizes N,N,...] [--threads N]\n"
+               "  any mode also accepts --timeout-ms N and --node-budget N\n"
                "  reads the program from [file], or stdin when omitted\n",
                argv0, argv0, argv0);
-  return 2;
+  return soap::support::status_exit_code(
+      soap::support::StatusCode::kInvalidInput);
 }
 
 // Strict parse of a `--cache-sizes` CSV: non-empty, positive sizes only.
@@ -82,10 +100,12 @@ bool parse_cache_sizes(const std::string& csv, std::vector<long long>& out) {
 // (kernel, cache size), the corpus bound next to the simulated I/O of the
 // derived tiling, with the soundness invariant enforced via the exit code.
 int run_attainment(const std::string& family, std::size_t threads,
-                   const std::vector<long long>& cache_sizes) {
+                   const std::vector<long long>& cache_sizes,
+                   const soap::support::StopCriteria& stop) {
   using namespace soap;
   analysis::AttainmentOptions options;
   options.threads = threads;
+  options.stop = stop;
   if (!cache_sizes.empty()) options.cache_sizes = cache_sizes;
   std::vector<analysis::AttainmentRow> rows;
   if (family.empty()) {
@@ -128,8 +148,12 @@ int list_kernels() {
 // --corpus / --family: analyze registered kernels with their recorded
 // engine configuration (batched across `threads` workers; the bounds are
 // bit-identical for every thread count) and report each derived bound
-// next to its reference.
-int run_corpus(const std::string& family, std::size_t threads) {
+// next to its reference.  The run is resilient: a kernel that fails or
+// degrades reports its status in its own row instead of aborting the
+// batch, the failure summary goes to stderr, and the exit code is the
+// class of the first non-ok kernel.
+int run_corpus(const std::string& family, std::size_t threads,
+               const soap::support::StopCriteria& stop) {
   using namespace soap;
   const kernels::Registry& registry = kernels::Registry::instance();
   std::vector<const kernels::KernelEntry*> rows;
@@ -144,13 +168,59 @@ int run_corpus(const std::string& family, std::size_t threads) {
       return 1;
     }
   }
-  std::vector<sym::Expr> bounds = kernels::analyze_corpus(rows, threads);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::printf("%-16s %-22s Q >= %s\n", rows[i]->family.c_str(),
-                rows[i]->name.c_str(), bounds[i].str().c_str());
+  kernels::CorpusOptions options;
+  options.threads = threads;
+  options.stop = stop;
+  kernels::CorpusReport report = kernels::analyze_corpus_resilient(rows, options);
+  for (const kernels::KernelOutcome& out : report.kernels) {
+    if (out.ok()) {
+      std::printf("%-16s %-22s Q >= %s%s\n", out.family.c_str(),
+                  out.kernel.c_str(), out.bound->str().c_str(),
+                  out.degraded ? "  [degraded]" : "");
+    } else {
+      std::printf("%-16s %-22s FAILED [%s]%s%s\n", out.family.c_str(),
+                  out.kernel.c_str(), support::status_code_name(out.status),
+                  out.message.empty() ? "" : ": ",
+                  out.message.c_str());
+    }
   }
-  std::printf("%zu kernels analyzed\n", rows.size());
-  return 0;
+  std::printf("%zu kernels analyzed\n", report.kernels.size());
+  const std::string summary = report.failure_summary();
+  if (!summary.empty()) std::fputs(summary.c_str(), stderr);
+  return support::status_exit_code(report.worst_status());
+}
+
+// --kernel NAME: one registered kernel with its recorded configuration,
+// under the given stop criteria.  A degraded run still prints its
+// (per-statement fallback) bound — the partial result — before exiting
+// with the trip code.
+int run_kernel(const std::string& name, std::size_t threads,
+               const soap::support::StopCriteria& stop) {
+  using namespace soap;
+  const kernels::KernelEntry* entry = nullptr;
+  try {
+    entry = &kernels::kernel_by_name(name);
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown kernel '%s' (see --list-kernels)\n",
+                 name.c_str());
+    return support::status_exit_code(support::StatusCode::kInvalidInput);
+  }
+  kernels::KernelOutcome out =
+      kernels::analyze_kernel_checked(*entry, threads, {}, stop);
+  if (out.ok()) {
+    std::printf("%-16s %-22s Q >= %s\n", out.family.c_str(),
+                out.kernel.c_str(), out.bound->str().c_str());
+    if (out.degraded) {
+      std::printf("degraded [%s]: a budget criterion tripped "
+                  "mid-derivation; the bound above is the sound "
+                  "per-statement fallback (partial result)\n",
+                  support::status_code_name(out.status));
+    }
+  } else {
+    std::fprintf(stderr, "error [%s]: %s\n",
+                 support::status_code_name(out.status), out.message.c_str());
+  }
+  return support::status_exit_code(out.status);
 }
 
 }  // namespace
@@ -162,9 +232,12 @@ int main(int argc, char** argv) {
   bool corpus = false;
   bool attainment = false;
   std::string family;
+  std::string kernel;
   std::string cache_sizes_csv;
   std::vector<long long> cache_sizes;
   std::string path;
+  std::size_t timeout_ms = 0;
+  std::size_t node_budget = 0;
   sdg::SdgOptions options;
   // Strict parse (support::consume_size_flag): a typo must not dial the
   // tool up to hardware_concurrency or silently change the enumeration
@@ -178,7 +251,10 @@ int main(int argc, char** argv) {
       {"threads", &options.threads},
       {"max-subgraph-size", &options.max_subgraph_size},
       {"max-subgraphs", &options.max_subgraphs},
+      {"timeout-ms", &timeout_ms},
+      {"node-budget", &node_budget},
   };
+  std::string flag_error;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--sdg") {
@@ -198,7 +274,7 @@ int main(int argc, char** argv) {
       continue;
     }
     switch (support::consume_string_flag(argc, argv, i, "cache-sizes",
-                                         cache_sizes_csv)) {
+                                         cache_sizes_csv, &flag_error)) {
       case support::FlagParse::kOk:
         if (!parse_cache_sizes(cache_sizes_csv, cache_sizes)) {
           std::fprintf(stderr,
@@ -209,30 +285,44 @@ int main(int argc, char** argv) {
         }
         continue;
       case support::FlagParse::kBadValue:
-        std::fprintf(stderr, "invalid or missing value for --cache-sizes\n");
+        std::fprintf(stderr, "invalid value for --cache-sizes: %s\n",
+                     flag_error.c_str());
         return usage(argv[0]);
       case support::FlagParse::kNoMatch:
         break;
     }
-    switch (support::consume_string_flag(argc, argv, i, "family", family)) {
+    switch (support::consume_string_flag(argc, argv, i, "family", family,
+                                         &flag_error)) {
       case support::FlagParse::kOk:
         continue;
       case support::FlagParse::kBadValue:
-        std::fprintf(stderr, "invalid or missing value for --family\n");
+        std::fprintf(stderr, "invalid value for --family: %s\n",
+                     flag_error.c_str());
+        return usage(argv[0]);
+      case support::FlagParse::kNoMatch:
+        break;
+    }
+    switch (support::consume_string_flag(argc, argv, i, "kernel", kernel,
+                                         &flag_error)) {
+      case support::FlagParse::kOk:
+        continue;
+      case support::FlagParse::kBadValue:
+        std::fprintf(stderr, "invalid value for --kernel: %s\n",
+                     flag_error.c_str());
         return usage(argv[0]);
       case support::FlagParse::kNoMatch:
         break;
     }
     bool matched = false;
     for (const SizeFlag& flag : size_flags) {
-      switch (support::consume_size_flag(argc, argv, i, flag.name,
-                                         *flag.out)) {
+      switch (support::consume_size_flag(argc, argv, i, flag.name, *flag.out,
+                                         &flag_error)) {
         case support::FlagParse::kOk:
           matched = true;
           break;
         case support::FlagParse::kBadValue:
-          std::fprintf(stderr, "invalid or missing value for --%s\n",
-                       flag.name);
+          std::fprintf(stderr, "invalid value for --%s: %s\n", flag.name,
+                       flag_error.c_str());
           return usage(argv[0]);
         case support::FlagParse::kNoMatch:
           break;
@@ -254,9 +344,11 @@ int main(int argc, char** argv) {
   // `--family NAME` on its own is a corpus filter; with --attainment it
   // filters the attainment sweep instead.
   if (!family.empty() && !attainment) corpus = true;
-  if ((list || corpus || attainment) && !path.empty()) {
+  const bool registry_mode = list || corpus || attainment || !kernel.empty();
+  if (registry_mode && !path.empty()) {
     std::fprintf(stderr,
-                 "--list-kernels/--corpus/--attainment take no input file\n");
+                 "--list-kernels/--corpus/--attainment/--kernel take no "
+                 "input file\n");
     return usage(argv[0]);
   }
   // The corpus modes analyze each kernel with its *recorded* engine
@@ -264,14 +356,15 @@ int main(int argc, char** argv) {
   // the per-program knobs cannot apply there; accepting and ignoring them
   // would break this tool's strict-flag contract.
   const sdg::SdgOptions defaults;
-  if ((list || corpus || attainment) &&
+  if (registry_mode &&
       (dump_sdg ||
        options.max_subgraph_size != defaults.max_subgraph_size ||
        options.max_subgraphs != defaults.max_subgraphs)) {
     std::fprintf(stderr,
                  "--sdg/--max-subgraph-size/--max-subgraphs do not apply to "
-                 "--list-kernels/--corpus/--attainment (kernels use their "
-                 "recorded configuration; only --threads applies)\n");
+                 "--list-kernels/--corpus/--attainment/--kernel (kernels "
+                 "use their recorded configuration; only --threads, "
+                 "--timeout-ms, and --node-budget apply)\n");
     return usage(argv[0]);
   }
   if (!cache_sizes.empty() && !attainment) {
@@ -283,11 +376,24 @@ int main(int argc, char** argv) {
                  "--attainment conflicts with --list-kernels/--corpus\n");
     return usage(argv[0]);
   }
+  if (!kernel.empty() && (list || corpus || attainment)) {
+    std::fprintf(stderr,
+                 "--kernel conflicts with "
+                 "--list-kernels/--corpus/--family/--attainment\n");
+    return usage(argv[0]);
+  }
+  // Termination criteria apply uniformly to every analysis mode; the
+  // deadline clock starts here, after flag parsing.
+  support::StopCriteria stop;
+  if (timeout_ms != 0) stop.deadline = support::Deadline::after_ms(timeout_ms);
+  stop.budget.max_live_nodes = node_budget;
+  options.stop = stop;
   if (list) return list_kernels();
   if (attainment) {
-    return run_attainment(family, options.threads, cache_sizes);
+    return run_attainment(family, options.threads, cache_sizes, stop);
   }
-  if (corpus) return run_corpus(family, options.threads);
+  if (corpus) return run_corpus(family, options.threads, stop);
+  if (!kernel.empty()) return run_kernel(kernel, options.threads, stop);
   std::string source;
   if (path.empty()) {
     std::ostringstream ss;
@@ -320,11 +426,24 @@ int main(int argc, char** argv) {
       return 0;
     }
     std::printf("I/O lower bound:  Q >= %s\n", bound->Q_leading.str().c_str());
+    if (bound->degraded) {
+      std::printf("degraded [%s]: a budget criterion tripped "
+                  "mid-derivation; the bound above is the sound "
+                  "per-statement fallback (partial result)\n",
+                  support::status_code_name(bound->degraded_reason));
+    }
     std::printf("per-array accounting (Theorem 1):\n");
     for (const auto& a : bound->per_array) {
       std::printf("  %-12s |A| = %-18s best rho = %s\n", a.array.c_str(),
                   a.cdag_size.str().c_str(), a.rho.str().c_str());
     }
+    if (bound->degraded) {
+      return support::status_exit_code(bound->degraded_reason);
+    }
+  } catch (const support::AnalysisError& e) {
+    std::fprintf(stderr, "error [%s]: %s\n",
+                 support::status_code_name(e.code()), e.what());
+    return support::status_exit_code(e.code());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -88,10 +88,12 @@ AttainmentRow measure_kernel(const kernels::KernelEntry& entry, long long S,
   sdg::SdgOptions bound_options = entry.options;
   bound_options.threads = 1;
   bound_options.executor = support::ExecutorRef::serial();
+  bound_options.stop = options.stop;
   auto bound = sdg::multi_statement_bound(program, bound_options);
   if (!bound) {
     throw std::runtime_error("attainment: no bound for " + entry.name);
   }
+  row.degraded = bound->degraded;
   std::map<std::string, double> env;
   env["S"] = static_cast<double>(S);
   for (const auto& [k, v] : row.params) env[k] = static_cast<double>(v);
@@ -165,6 +167,9 @@ std::string format_attainment_table(const std::vector<AttainmentRow>& rows) {
                   r.fused ? "fused/stmt" : "stmt/stmt", r.trace_length,
                   sizes.c_str(), r.sound() ? "" : "  [UNSOUND]");
     out += line;
+    if (r.degraded) {
+      out.insert(out.size() - 1, "  [degraded]");
+    }
   }
   std::snprintf(line, sizeof(line),
                 "%zu rows, %zu soundness violations (Q_sim_belady < Q_lb)\n",

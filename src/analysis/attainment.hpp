@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "kernels/registry.hpp"
+#include "support/cancel.hpp"
 #include "support/executor.hpp"
 
 namespace soap::analysis {
@@ -59,6 +60,12 @@ struct AttainmentOptions {
   std::size_t threads = 1;
   /// Where helper workers run (default: the process-global pool).
   support::ExecutorRef executor;
+  /// Termination criteria for the bound derivation inside each row
+  /// (deadline/budget trips degrade the row to the per-statement bound and
+  /// set AttainmentRow::degraded; cancellation raises
+  /// AnalysisError{kCancelled}).  Default: unlimited — the 86 golden rows
+  /// stay bit-identical.
+  support::StopCriteria stop;
 };
 
 /// One (kernel, S) attainment measurement.
@@ -73,6 +80,12 @@ struct AttainmentRow {
   /// but the simulated schedule replays statements separately — the ratio
   /// then over-states the gap (it is an upper bound on attainable I/O).
   bool fused = false;
+  /// True when a deadline/budget trip degraded the bound derivation to the
+  /// per-statement fallback (SdgOptions::degrade_on_budget).  The row is
+  /// still sound — the per-statement bound is exactly the baseline the
+  /// `sound()` invariant validates against — but Q_lb may be weaker than
+  /// the fused bound.
+  bool degraded = false;
   /// Concrete problem-size values the trace was generated with.
   std::map<std::string, long long> params;
   /// The kernel's corpus bound (Q_leading of its recorded analysis)

@@ -4,12 +4,37 @@
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 #include "linalg/simplex.hpp"
+#include "support/cancel.hpp"
 
 namespace soap::bounds {
 
 namespace {
+
+// One guard per chi derivation, threaded through every numeric inner loop.
+// Counts projected-objective evaluations against the per-derivation solver
+// budget (single-threaded per subgraph, so which evaluation trips is
+// deterministic) and polls deadline/cancellation every 32 ticks so the poll
+// cost stays invisible next to the evaluation itself.
+struct SolveGuard {
+  const support::StopCriteria* stop = nullptr;
+  std::uint64_t ticks = 0;
+
+  void tick() {
+    if (stop == nullptr) return;
+    ++ticks;
+    const std::size_t cap = stop->budget.max_solver_evals;
+    if (cap != 0 && ticks > cap) {
+      throw support::AnalysisError(
+          support::StatusCode::kBudgetExceeded,
+          "solver evaluation budget exceeded (max=" + std::to_string(cap) +
+              ")");
+    }
+    if ((ticks & 31u) == 0) stop->enforce("numeric optimizer");
+  }
+};
 
 // ---------------------------------------------------------------------------
 // Numeric solve
@@ -148,8 +173,9 @@ double feasible_scale(const Evaluator& ev, const std::vector<double>& x,
 
 // Projected objective: log chi after scaling onto the feasible boundary.
 double projected_objective(const Evaluator& ev, const std::vector<double>& u,
-                           double X,
+                           double X, SolveGuard* guard = nullptr,
                            std::vector<double>* tiles_out = nullptr) {
+  if (guard != nullptr) guard->tick();
   std::vector<double> x(u.size());
   for (std::size_t i = 0; i < u.size(); ++i) x[i] = std::exp(u[i]);
   double m = feasible_scale(ev, x, X);
@@ -165,10 +191,11 @@ double projected_objective(const Evaluator& ev, const std::vector<double>& u,
 
 // Nelder-Mead in log-space (maximization); dimensions are tiny (<= ~10).
 std::vector<double> nelder_mead(const Evaluator& ev, double X,
-                                std::vector<double> start, int iters) {
+                                std::vector<double> start, int iters,
+                                SolveGuard* guard) {
   const std::size_t n = start.size();
   auto f = [&](const std::vector<double>& u) {
-    return projected_objective(ev, u, X);
+    return projected_objective(ev, u, X, guard);
   };
   std::vector<std::vector<double>> simplex(n + 1, start);
   for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += 0.7;
@@ -245,7 +272,8 @@ std::vector<double> nelder_mead(const Evaluator& ev, double X,
 // multiplicative equalization with projection back onto g = X.  Variables
 // clamped at x >= 1 stay clamped.  Only runs when no minimum-set constraint
 // is active.
-void kkt_polish(const Evaluator& ev, double X, std::vector<double>* u) {
+void kkt_polish(const Evaluator& ev, double X, std::vector<double>* u,
+                SolveGuard* guard) {
   const std::size_t n = u->size();
   auto tiles_of = [&](const std::vector<double>& uu) {
     std::vector<double> tiles(n);
@@ -282,10 +310,11 @@ void kkt_polish(const Evaluator& ev, double X, std::vector<double>* u) {
   project(&w);
   const double eps = 1e-6;
   for (int iter = 0; iter < 400; ++iter) {
+    if (guard != nullptr) guard->tick();
     std::vector<double> r(n);
     double mean_log = 0.0;
     int active = 0;
-    double f0 = std::exp(projected_objective(ev, w, X));
+    double f0 = std::exp(projected_objective(ev, w, X, guard));
     (void)f0;
     for (std::size_t i = 0; i < n; ++i) {
       std::vector<double> up = w, dn = w;
@@ -320,8 +349,8 @@ void kkt_polish(const Evaluator& ev, double X, std::vector<double>* u) {
     if (!moved) break;
   }
   if (!singles_ok(w)) return;
-  double before = projected_objective(ev, *u, X);
-  double after = projected_objective(ev, w, X);
+  double before = projected_objective(ev, *u, X, guard);
+  double after = projected_objective(ev, w, X, guard);
   if (after >= before - 1e-12) *u = w;
 }
 
@@ -344,7 +373,8 @@ std::vector<std::vector<std::string>> all_monomials(
 }
 
 NumericOptimum solve_at(const OptimizationProblem& problem, double X,
-                        const std::vector<std::vector<double>>& extra_seeds) {
+                        const std::vector<std::vector<double>>& extra_seeds,
+                        SolveGuard* guard) {
   Evaluator ev(problem);
   const std::size_t n = problem.vars.size();
 
@@ -360,9 +390,9 @@ NumericOptimum solve_at(const OptimizationProblem& problem, double X,
     seeds.push_back(std::move(staggered));
   }
   for (auto& seed : seeds) {
-    std::vector<double> u = nelder_mead(ev, X, seed, 3000);
-    kkt_polish(ev, X, &u);
-    double obj = projected_objective(ev, u, X);
+    std::vector<double> u = nelder_mead(ev, X, seed, 3000, guard);
+    kkt_polish(ev, X, &u, guard);
+    double obj = projected_objective(ev, u, X, guard);
     if (obj > best_obj) {
       best_obj = obj;
       best_u = u;
@@ -371,7 +401,7 @@ NumericOptimum solve_at(const OptimizationProblem& problem, double X,
 
   NumericOptimum out;
   std::vector<double> tiles(n);
-  double logf = projected_objective(ev, best_u, X, &tiles);
+  double logf = projected_objective(ev, best_u, X, guard, &tiles);
   for (std::size_t i = 0; i < n; ++i) out.tiles[problem.vars[i]] = tiles[i];
   out.chi = std::exp(logf);
   return out;
@@ -391,7 +421,7 @@ NumericOptimum solve_at(const OptimizationProblem& problem, double X,
 std::optional<double> asymptotic_constant(
     const OptimizationProblem& problem,
     const std::map<std::string, Rational>& a, const Rational& alpha,
-    std::map<std::string, double>* kappa_out) {
+    std::map<std::string, double>* kappa_out, SolveGuard* guard = nullptr) {
   const std::size_t n = problem.vars.size();
   std::map<std::string, std::size_t> index;
   for (std::size_t i = 0; i < n; ++i) index[problem.vars[i]] = i;
@@ -492,6 +522,7 @@ std::optional<double> asymptotic_constant(
   };
   project(&u);
   for (int iter = 0; iter < 8000; ++iter) {
+    if (guard != nullptr) guard->tick();
     std::vector<double> gh, gf;
     eval_monos(constraint_monos, u, &gh);
     double f = eval_monos(objective_monos, u, &gf);
@@ -534,11 +565,18 @@ std::optional<double> asymptotic_constant(
 }  // namespace
 
 NumericOptimum maximize_subcomputation(const OptimizationProblem& problem,
-                                       double X) {
-  return solve_at(problem, X, {});
+                                       double X,
+                                       const support::StopCriteria& stop) {
+  SolveGuard guard;
+  guard.stop = stop.unlimited() ? nullptr : &stop;
+  return solve_at(problem, X, {}, &guard);
 }
 
-std::optional<ChiForm> derive_chi(const OptimizationProblem& problem) {
+std::optional<ChiForm> derive_chi(const OptimizationProblem& problem,
+                                  const support::StopCriteria& stop) {
+  SolveGuard guard;
+  guard.stop = stop.unlimited() ? nullptr : &stop;
+  if (guard.stop != nullptr) stop.enforce("chi derivation");
   const std::size_t n = problem.vars.size();
   if (n == 0) return std::nullopt;
 
@@ -642,8 +680,17 @@ std::optional<ChiForm> derive_chi(const OptimizationProblem& problem) {
     }
     return seed;
   };
-  NumericOptimum lo = solve_at(problem, x_lo, {lp_seed(x_lo)});
-  NumericOptimum hi = solve_at(problem, x_hi, {lp_seed(x_hi)});
+  NumericOptimum lo = solve_at(problem, x_lo, {lp_seed(x_lo)}, &guard);
+  NumericOptimum hi = solve_at(problem, x_hi, {lp_seed(x_hi)}, &guard);
+  if (!std::isfinite(lo.chi) || !std::isfinite(hi.chi) || lo.chi <= 0.0 ||
+      hi.chi <= 0.0) {
+    // The LP promised a bounded exponent but the numeric fit found no
+    // finite positive chi: surface it as a structured failure instead of
+    // letting NaNs flow into the symbolic bound.
+    throw support::AnalysisError(
+        support::StatusCode::kOptimizerNoConverge,
+        "numeric optimizer produced no finite chi constant");
+  }
   double alpha_lp = form.alpha.to_double();
   double alpha_fit =
       (std::log(hi.chi) - std::log(lo.chi)) / (std::log(x_hi) - std::log(x_lo));
@@ -661,7 +708,8 @@ std::optional<ChiForm> derive_chi(const OptimizationProblem& problem) {
   double snap_tol = 1e-4;
   std::map<std::string, double> kappa;
   std::optional<double> c_gp =
-      asymptotic_constant(problem, form.exponents, form.alpha, &kappa);
+      asymptotic_constant(problem, form.exponents, form.alpha, &kappa,
+                          &guard);
   if (c_gp && std::fabs(*c_gp - c_num) <= 1e-2 * std::max(*c_gp, c_num)) {
     c_best = *c_gp;
     snap_tol = 1e-8;

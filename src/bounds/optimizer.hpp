@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bounds/access_size.hpp"
+#include "support/cancel.hpp"
 #include "support/rational.hpp"
 #include "symbolic/expr.hpp"
 
@@ -60,8 +61,12 @@ struct NumericOptimum {
 };
 
 /// Numerically maximizes prod x_v subject to the constraints at budget X.
+/// `stop` is polled inside the Nelder-Mead/KKT inner loops (deadline and
+/// cancellation every few dozen objective evaluations; the per-derivation
+/// solver-eval budget on every one) and raises AnalysisError when tripped.
 NumericOptimum maximize_subcomputation(const OptimizationProblem& problem,
-                                       double X);
+                                       double X,
+                                       const support::StopCriteria& stop = {});
 
 /// Symbolic form of chi(X) ~ coefficient * X^alpha (leading order).
 struct ChiForm {
@@ -76,6 +81,11 @@ struct ChiForm {
 
 /// Derives chi(X).  Returns std::nullopt when the problem is unbounded
 /// (some loop variable occurs in no access: unlimited reuse, no bound).
-std::optional<ChiForm> derive_chi(const OptimizationProblem& problem);
+/// Throws AnalysisError{kDeadlineExceeded|kBudgetExceeded|kCancelled} when
+/// `stop` trips mid-solve, and AnalysisError{kOptimizerNoConverge} when the
+/// numeric fit produces no finite chi.  Default criteria are unlimited and
+/// keep the inner loops on their historical path.
+std::optional<ChiForm> derive_chi(const OptimizationProblem& problem,
+                                  const support::StopCriteria& stop = {});
 
 }  // namespace soap::bounds

@@ -17,6 +17,11 @@ struct AstExpr {
   std::string name;            // kVar / kCall (callee) / kRef (array)
   std::string op;              // kBinary / kUnary
   std::vector<AstExprPtr> args;  // operands / call args / subscripts
+  // Source position of the token that started this expression (binary /
+  // unary nodes: the operator token); 0 when synthesized (e.g. the implicit
+  // range lower bound).  Lowering diagnostics point here.
+  int line = 0;
+  int column = 0;
 
   static AstExprPtr make_number(long long v) {
     auto e = std::make_shared<AstExpr>();

@@ -3,13 +3,16 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "support/cancel.hpp"
+
 namespace soap::frontend {
 
 namespace {
 
 [[noreturn]] void fail(const std::string& msg, int line, int col) {
-  throw std::runtime_error("lex error at " + std::to_string(line) + ":" +
-                           std::to_string(col) + ": " + msg);
+  throw support::AnalysisError(support::StatusCode::kInvalidInput,
+                               "lex error at " + std::to_string(line) + ":" +
+                                   std::to_string(col) + ": " + msg);
 }
 
 // Two- then one-character operators.

@@ -34,7 +34,8 @@ struct LexError {
 /// Tokenizes `source`.  When `python_layout` is true, emits
 /// kNewline/kIndent/kDedent tokens from the line structure (comments `#...`
 /// stripped); otherwise whitespace is insignificant and `//...` comments are
-/// stripped.  Throws std::runtime_error with position info on bad input.
+/// stripped.  Throws support::AnalysisError{kInvalidInput} (a
+/// std::runtime_error) with line:column position info on bad input.
 std::vector<Token> tokenize(const std::string& source, bool python_layout);
 
 /// Heuristic: C-style when the source contains "for (" / "for(" or braces.

@@ -4,14 +4,55 @@
 #include <stdexcept>
 
 #include "frontend/parser.hpp"
+#include "support/cancel.hpp"
 
 namespace soap::frontend {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& msg, int line) {
-  throw std::runtime_error("lowering error at line " + std::to_string(line) +
-                           ": " + msg);
+// Renders an AST expression back to source-like text so a lowering
+// diagnostic can show the offending subexpression, not just its position.
+std::string render(const AstExprPtr& e) {
+  const auto join = [](const std::vector<AstExprPtr>& args) {
+    std::string out;
+    for (const AstExprPtr& a : args) {
+      if (!out.empty()) out += ",";
+      out += render(a);
+    }
+    return out;
+  };
+  switch (e->kind) {
+    case AstExpr::Kind::kNumber:
+      return std::to_string(e->number);
+    case AstExpr::Kind::kVar:
+      return e->name;
+    case AstExpr::Kind::kUnary:
+      return e->op + render(e->args[0]);
+    case AstExpr::Kind::kBinary:
+      return render(e->args[0]) + e->op + render(e->args[1]);
+    case AstExpr::Kind::kCall:
+      return e->name + "(" + join(e->args) + ")";
+    case AstExpr::Kind::kRef:
+      return e->name + "[" + join(e->args) + "]";
+  }
+  return "?";
+}
+
+// Diagnostics carry line:column (the parser stamps every expression with
+// the token that started it; `line` is the enclosing statement's fallback
+// for synthesized nodes) plus the offending expression text.
+[[noreturn]] void fail(const std::string& msg, int line,
+                       const AstExprPtr& offending) {
+  std::string where = "line " + std::to_string(line);
+  if (offending != nullptr && offending->line > 0) {
+    where = std::to_string(offending->line) + ":" +
+            std::to_string(offending->column);
+  }
+  throw support::AnalysisError(
+      support::StatusCode::kInvalidInput,
+      "lowering error at " + where + ": " + msg +
+          (offending == nullptr ? ""
+                                : " (near '" + render(offending) + "')"));
 }
 
 // Affine interpretation of an expression; throws on non-affine shapes.
@@ -23,7 +64,7 @@ Affine to_affine(const AstExprPtr& e, int line) {
       return Affine::variable(e->name);
     case AstExpr::Kind::kUnary:
       if (e->op == "-") return -to_affine(e->args[0], line);
-      fail("non-affine unary operator '" + e->op + "'", line);
+      fail("non-affine unary operator '" + e->op + "'", line, e);
     case AstExpr::Kind::kBinary: {
       if (e->op == "+") {
         return to_affine(e->args[0], line) + to_affine(e->args[1], line);
@@ -36,7 +77,7 @@ Affine to_affine(const AstExprPtr& e, int line) {
         Affine r = to_affine(e->args[1], line);
         if (l.is_constant()) return l.constant() * r;
         if (r.is_constant()) return r.constant() * l;
-        fail("non-affine product in subscript/bound", line);
+        fail("non-affine product in subscript/bound", line, e);
       }
       if (e->op == "/") {
         Affine l = to_affine(e->args[0], line);
@@ -44,15 +85,15 @@ Affine to_affine(const AstExprPtr& e, int line) {
         if (r.is_constant() && !r.constant().is_zero()) {
           return r.constant().inverse() * l;
         }
-        fail("non-constant divisor in subscript/bound", line);
+        fail("non-constant divisor in subscript/bound", line, e);
       }
-      fail("non-affine operator '" + e->op + "'", line);
+      fail("non-affine operator '" + e->op + "'", line, e);
     }
     case AstExpr::Kind::kCall:
     case AstExpr::Kind::kRef:
-      fail("non-affine subscript/bound", line);
+      fail("non-affine subscript/bound", line, e);
   }
-  fail("bad expression", line);
+  fail("bad expression", line, e);
 }
 
 bool contains_ref(const AstExprPtr& e) {

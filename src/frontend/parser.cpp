@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "frontend/lexer.hpp"
+#include "support/cancel.hpp"
 
 namespace soap::frontend {
 
@@ -26,9 +27,11 @@ class Parser {
  private:
   [[noreturn]] void fail(const std::string& msg) const {
     const Token& t = peek();
-    throw std::runtime_error("parse error at " + std::to_string(t.line) + ":" +
-                             std::to_string(t.column) + ": " + msg +
-                             (t.text.empty() ? "" : " (near '" + t.text + "')"));
+    throw support::AnalysisError(
+        support::StatusCode::kInvalidInput,
+        "parse error at " + std::to_string(t.line) + ":" +
+            std::to_string(t.column) + ": " + msg +
+            (t.text.empty() ? "" : " (near '" + t.text + "')"));
   }
 
   const Token& peek(std::size_t ahead = 0) const {
@@ -57,7 +60,20 @@ class Parser {
 
   // --- expressions ---
 
+  // Stamps the source position of the token that starts the expression so
+  // lowering diagnostics can point at the offending subexpression.
   AstExprPtr parse_primary() {
+    const int line = peek().line;
+    const int column = peek().column;
+    AstExprPtr e = parse_primary_impl();
+    if (e->line == 0) {
+      e->line = line;
+      e->column = column;
+    }
+    return e;
+  }
+
+  AstExprPtr parse_primary_impl() {
     if (at(TokenKind::kNumber)) {
       return AstExpr::make_number(take().number);
     }
@@ -102,8 +118,11 @@ class Parser {
 
   AstExprPtr parse_unary() {
     if (at_punct("-")) {
-      ++pos_;
-      return AstExpr::make_unary("-", parse_unary());
+      const Token op = take();
+      AstExprPtr e = AstExpr::make_unary("-", parse_unary());
+      e->line = op.line;
+      e->column = op.column;
+      return e;
     }
     if (at_punct("+")) {
       ++pos_;
@@ -115,8 +134,10 @@ class Parser {
   AstExprPtr parse_term() {
     AstExprPtr e = parse_unary();
     while (at_punct("*") || at_punct("/") || at_punct("%")) {
-      std::string op = take().text;
-      e = AstExpr::make_binary(op, e, parse_unary());
+      const Token op = take();
+      e = AstExpr::make_binary(op.text, e, parse_unary());
+      e->line = op.line;
+      e->column = op.column;
     }
     return e;
   }
@@ -124,8 +145,10 @@ class Parser {
   AstExprPtr parse_expr() {
     AstExprPtr e = parse_term();
     while (at_punct("+") || at_punct("-")) {
-      std::string op = take().text;
-      e = AstExpr::make_binary(op, e, parse_term());
+      const Token op = take();
+      e = AstExpr::make_binary(op.text, e, parse_term());
+      e->line = op.line;
+      e->column = op.column;
     }
     return e;
   }

@@ -66,4 +66,95 @@ const KernelEntry& kernel_by_name(const std::string& name) {
   return Registry::instance().at(name);
 }
 
+std::size_t CorpusReport::failed() const {
+  std::size_t n = 0;
+  for (const KernelOutcome& k : kernels) n += k.ok() ? 0 : 1;
+  return n;
+}
+
+std::size_t CorpusReport::degraded_count() const {
+  std::size_t n = 0;
+  for (const KernelOutcome& k : kernels) n += k.degraded ? 1 : 0;
+  return n;
+}
+
+support::StatusCode CorpusReport::worst_status() const {
+  for (const KernelOutcome& k : kernels) {
+    if (k.status != support::StatusCode::kOk) return k.status;
+  }
+  return support::StatusCode::kOk;
+}
+
+std::string CorpusReport::failure_summary() const {
+  const std::size_t nfailed = failed();
+  const std::size_t ndegraded = degraded_count();
+  if (nfailed == 0 && ndegraded == 0) return "";
+  std::string out;
+  for (const KernelOutcome& k : kernels) {
+    if (k.ok() && !k.degraded) continue;
+    out += "  " + k.kernel + " [" +
+           support::status_code_name(k.status) + "]" +
+           (k.degraded ? " degraded to per-statement bound" : " failed");
+    if (!k.message.empty()) out += ": " + k.message;
+    out += "\n";
+  }
+  out += std::to_string(kernels.size() - nfailed) + "/" +
+         std::to_string(kernels.size()) + " kernels produced bounds (" +
+         std::to_string(ndegraded) + " degraded, " +
+         std::to_string(nfailed) + " failed)\n";
+  return out;
+}
+
+KernelOutcome analyze_kernel_checked(const KernelEntry& entry,
+                                     std::size_t threads,
+                                     support::ExecutorRef executor,
+                                     const support::StopCriteria& stop) {
+  KernelOutcome out;
+  out.kernel = entry.name;
+  out.family = entry.family;
+  try {
+    Program program = entry.build();
+    sdg::SdgOptions options = entry.options;
+    options.threads = threads;
+    options.executor = executor;
+    options.stop = stop;
+    auto bound = sdg::multi_statement_bound(program, options);
+    if (!bound) {
+      out.status = support::StatusCode::kInvalidInput;
+      out.message = "no non-trivial bound (unlimited reuse)";
+      return out;
+    }
+    out.bound = bound->Q_leading;
+    out.degraded = bound->degraded;
+    // A degraded row keeps its bound but reports which criterion tripped.
+    out.status = bound->degraded ? bound->degraded_reason
+                                 : support::StatusCode::kOk;
+  } catch (const support::AnalysisError& error) {
+    out.status = error.code();
+    out.message = error.what();
+  } catch (const std::exception& error) {
+    out.status = support::StatusCode::kInternalError;
+    out.message = error.what();
+  }
+  return out;
+}
+
+CorpusReport analyze_corpus_resilient(
+    const std::vector<const KernelEntry*>& kernels,
+    const CorpusOptions& options) {
+  support::ParallelOptions par;
+  par.threads = options.threads;
+  par.executor = options.executor;
+  // Deliberately no par.cancel: cancellation must not abort the batch —
+  // each kernel observes the token itself and records kCancelled in its own
+  // slot, preserving the partial results the resilient contract promises.
+  CorpusReport report;
+  report.kernels = support::parallel_map<KernelOutcome>(
+      kernels.size(), par, [&kernels, &options](std::size_t i) {
+        return analyze_kernel_checked(*kernels[i], options.threads,
+                                      options.executor, options.stop);
+      });
+  return report;
+}
+
 }  // namespace soap::kernels

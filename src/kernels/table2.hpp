@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "kernels/registry.hpp"
+#include "support/cancel.hpp"
 #include "support/executor.hpp"
 
 namespace soap::kernels {
@@ -73,5 +75,61 @@ std::vector<sym::Expr> analyze_corpus(
 /// Lookup across the whole registry by name; throws std::out_of_range when
 /// missing.  Equivalent to Registry::instance().at(name).
 const KernelEntry& kernel_by_name(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Resilient corpus analysis (docs/ROBUSTNESS.md)
+// ---------------------------------------------------------------------------
+
+struct CorpusOptions {
+  std::size_t threads = 1;
+  support::ExecutorRef executor;
+  /// Per-kernel termination criteria (deadline/budgets shared wall-clock
+  /// across the run; polled inside each kernel's analysis).
+  support::StopCriteria stop;
+};
+
+/// Per-kernel result of a resilient corpus run.  `status` is kOk for a
+/// clean bound; a degraded kernel keeps its (per-statement fallback) bound
+/// AND records the budget code that tripped; a failed kernel has no bound
+/// and `message` carries the error text.
+struct KernelOutcome {
+  std::string kernel;
+  std::string family;
+  support::StatusCode status = support::StatusCode::kOk;
+  bool degraded = false;
+  std::optional<sym::Expr> bound;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return bound.has_value(); }
+};
+
+struct CorpusReport {
+  std::vector<KernelOutcome> kernels;  ///< slot i = input kernel i
+
+  [[nodiscard]] std::size_t failed() const;
+  [[nodiscard]] std::size_t degraded_count() const;
+  /// The class of the first (input-order) non-ok kernel, kOk when clean —
+  /// the aggregate exit code of a corpus run.
+  [[nodiscard]] support::StatusCode worst_status() const;
+  /// Human-readable per-failure lines + totals; "" when fully clean.
+  [[nodiscard]] std::string failure_summary() const;
+};
+
+/// Analyzes `entry` under `stop`, never throwing: every error class —
+/// deadline/budget (after the degraded fallback also failed), cancellation,
+/// invalid input, optimizer no-converge, unexpected exceptions — is folded
+/// into the returned outcome's status/message.
+KernelOutcome analyze_kernel_checked(const KernelEntry& entry,
+                                     std::size_t threads = 1,
+                                     support::ExecutorRef executor = {},
+                                     const support::StopCriteria& stop = {});
+
+/// analyze_corpus that survives per-kernel failures: same slot-per-kernel
+/// determinism, but a kernel that fails (or degrades) reports its status in
+/// its own slot instead of aborting the batch — partial results plus a
+/// failure summary, never all-or-nothing.
+CorpusReport analyze_corpus_resilient(
+    const std::vector<const KernelEntry*>& kernels,
+    const CorpusOptions& options = {});
 
 }  // namespace soap::kernels

@@ -70,11 +70,41 @@ struct Evaluated {
   double rho_value = 0.0;
 };
 
-}  // namespace
+// Enumeration-side stop polling.  The subgraph budget is an exact count
+// check; cancellation/deadline are checked every emit (cheap: a pointer
+// test and, when a deadline is armed, a clock read); the node-budget gauge
+// sweep piggybacks on every 16th emit.
+class EnumerationGuard {
+ public:
+  explicit EnumerationGuard(const support::StopCriteria& stop)
+      : stop_(stop), limited_(!stop.unlimited()) {}
 
-std::optional<MultiStatementBound> multi_statement_bound(
-    const Program& program, const SdgOptions& options) {
-  if (program.statements.empty()) return std::nullopt;
+  void poll() {
+    if (!limited_) return;
+    ++emitted_;
+    if (stop_.budget.max_subgraphs != 0 &&
+        emitted_ > stop_.budget.max_subgraphs) {
+      throw support::AnalysisError(
+          support::StatusCode::kBudgetExceeded,
+          "subgraph budget exceeded (max=" +
+              std::to_string(stop_.budget.max_subgraphs) + ")");
+    }
+    if ((emitted_ & 15u) == 0 || stop_.cancel.cancelled() ||
+        stop_.deadline.expired()) {
+      stop_.enforce("subgraph enumeration");
+    }
+  }
+
+ private:
+  const support::StopCriteria& stop_;
+  const bool limited_;
+  std::size_t emitted_ = 0;
+};
+
+// The historical analysis body, unchanged in what it computes; the public
+// wrapper below adds the degrade-on-budget fallback around it.
+std::optional<MultiStatementBound> derive_bound(const Program& program,
+                                                const SdgOptions& options) {
   Sdg sdg = Sdg::build(program);
 
   // The per-subgraph chain merge_subgraph -> derive_chi -> minimize_intensity
@@ -88,7 +118,7 @@ std::optional<MultiStatementBound> multi_statement_bound(
   auto analyze_one =
       [&](std::vector<std::string>&& arrays) -> std::optional<Evaluated> {
     MergedSubgraph merged = merge_subgraph(sdg, arrays);
-    auto chi = bounds::derive_chi(merged.problem);
+    auto chi = bounds::derive_chi(merged.problem, options.stop);
     // Unbounded intensity: no constraint from this subgraph.
     if (!chi) return std::nullopt;
     bounds::IntensityResult in = bounds::minimize_intensity(*chi);
@@ -105,12 +135,15 @@ std::optional<MultiStatementBound> multi_statement_bound(
     support::PipelineOptions pipe;
     pipe.workers = options.threads;
     pipe.executor = options.executor;
+    pipe.cancel = options.stop.cancel;
+    EnumerationGuard guard(options.stop);
     support::run_pipeline<std::vector<std::string>>(
         pipe,
         [&](const std::function<bool(std::vector<std::string> &&)>& emit) {
           for_each_subgraph(sdg, options.max_subgraph_size,
                             options.max_subgraphs,
                             [&](std::vector<std::string>&& arrays) {
+                              guard.poll();
                               return emit(std::move(arrays));
                             });
         },
@@ -124,9 +157,12 @@ std::optional<MultiStatementBound> multi_statement_bound(
     support::ParallelOptions par;
     par.threads = options.threads;
     par.executor = options.executor;
+    par.cancel = options.stop.cancel;
+    EnumerationGuard guard(options.stop);
     for_each_subgraph_level(
         sdg, options.max_subgraph_size, options.max_subgraphs,
         [&](std::vector<std::vector<std::string>>& level) {
+          for (std::size_t i = 0; i < level.size(); ++i) guard.poll();
           auto slots = support::parallel_map<std::optional<Evaluated>>(
               level.size(), par,
               [&](std::size_t i) { return analyze_one(std::move(level[i])); });
@@ -197,6 +233,43 @@ std::optional<MultiStatementBound> multi_statement_bound(
     out.Q_leading = out.Q_sdg;
   }
   return out;
+}
+
+}  // namespace
+
+std::optional<MultiStatementBound> multi_statement_bound(
+    const Program& program, const SdgOptions& options) {
+  if (program.statements.empty()) return std::nullopt;
+  try {
+    return derive_bound(program, options);
+  } catch (const support::AnalysisError& error) {
+    const support::StatusCode code = error.code();
+    const bool budget_trip =
+        code == support::StatusCode::kDeadlineExceeded ||
+        code == support::StatusCode::kBudgetExceeded;
+    if (!budget_trip || !options.degrade_on_budget) {
+      throw;  // cancellation/invalid-input always surface; so does a trip
+              // when degradation is off
+    }
+    // Graceful degradation: re-derive with the sound per-statement
+    // accounting (singleton subgraphs — exactly PR 6's soundness baseline).
+    // The fallback is bounded work (one solve per statement), so the
+    // tripped deadline/budget is dropped; only cancellation stays live.
+    // Kernels already configured per-statement degrade to the same
+    // accounting run to completion — the bound is identical, just late.
+    SdgOptions fallback = options;
+    fallback.max_subgraph_size = 1;
+    fallback.threads = 1;
+    fallback.executor = support::ExecutorRef::serial();
+    fallback.stop = support::StopCriteria{};
+    fallback.stop.cancel = options.stop.cancel;
+    std::optional<MultiStatementBound> out = derive_bound(program, fallback);
+    if (out) {
+      out->degraded = true;
+      out->degraded_reason = code;
+    }
+    return out;
+  }
 }
 
 }  // namespace soap::sdg

@@ -13,6 +13,7 @@
 #include "bounds/result.hpp"
 #include "sdg/merge.hpp"
 #include "sdg/sdg.hpp"
+#include "support/cancel.hpp"
 #include "support/executor.hpp"
 
 namespace soap::sdg {
@@ -57,6 +58,17 @@ struct SdgOptions {
   /// triangular domains; enable it for streaming pipelines where it is exact
   /// (horizontal diffusion, vertical advection).
   bool use_cold_bound = false;
+  /// Termination criteria, polled at subgraph-enumeration boundaries and
+  /// inside the numeric optimizer.  Default: unlimited — the analysis runs
+  /// exactly its historical path and the golden rows stay bit-identical.
+  support::StopCriteria stop;
+  /// When a deadline or resource budget trips mid-derivation, fall back to
+  /// the sound per-statement accounting (max_subgraph_size = 1, serial,
+  /// cancellation still honored) and mark the result `degraded` instead of
+  /// failing the kernel.  Cancellation never degrades — it always raises
+  /// AnalysisError{kCancelled}.  Set false to surface budget trips as
+  /// errors.
+  bool degrade_on_budget = true;
 };
 
 struct ArrayBound {
@@ -73,13 +85,22 @@ struct MultiStatementBound {
   sym::Expr Q_cold;     ///< inputs touched + terminal outputs stored
   std::vector<ArrayBound> per_array;
   std::size_t subgraphs_evaluated = 0;
+  /// True when a deadline/budget trip forced the per-statement fallback;
+  /// `degraded_reason` records which criterion tripped.  A degraded bound
+  /// is still sound (per-statement accounting is the soundness baseline the
+  /// attainment table validates against) but may be weaker than the fused
+  /// bound the full enumeration would have derived.
+  bool degraded = false;
+  support::StatusCode degraded_reason = support::StatusCode::kOk;
 
   [[nodiscard]] std::string str() const {
     return "Q >= " + Q_leading.str();
   }
 };
 
-/// Full multi-statement analysis of a SOAP program.
+/// Full multi-statement analysis of a SOAP program.  Polls `options.stop`
+/// at enumeration/solver chunk boundaries; see SdgOptions::degrade_on_budget
+/// for what happens when a criterion trips.
 std::optional<MultiStatementBound> multi_statement_bound(
     const Program& program, const SdgOptions& options = {});
 

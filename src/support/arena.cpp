@@ -35,6 +35,25 @@ void* Arena::refill_and_carve(std::size_t slot_bytes) {
   return block;
 }
 
+std::atomic<long long> Arena::fail_countdown_{-1};
+
+void Arena::fail_after(std::size_t count) noexcept {
+  fail_countdown_.store(count == 0 ? -1 : static_cast<long long>(count),
+                        std::memory_order_relaxed);
+}
+
+void Arena::clear_failure_hook() noexcept {
+  fail_countdown_.store(-1, std::memory_order_relaxed);
+}
+
+void Arena::fail_hook_tick() {
+  // fetch_sub makes exactly one thread observe the 1 -> 0 transition; later
+  // callers drift the counter below zero, which reads as disarmed.
+  if (fail_countdown_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    throw std::bad_alloc();
+  }
+}
+
 Arena::Stats Arena::stats() const {
   // Reads the serialized-allocate state: callers must exclude allocate()
   // (the intern table calls this under at least a shared shard lock, which

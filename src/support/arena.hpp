@@ -74,6 +74,16 @@ class Arena {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Fault-injection hook: after `count - 1` more successful allocations
+  /// (process-wide, across every arena), one allocate() call throws
+  /// std::bad_alloc and the hook disarms — count == 1 fails the very next
+  /// allocation.  count == 0 disarms.  Thread-safe; exactly one caller
+  /// observes the failure.  Active in every build mode (including the ASan
+  /// passthrough) so the out-of-memory paths are testable everywhere.
+  static void fail_after(std::size_t count) noexcept;
+  /// Disarms the fault-injection hook (idempotent).
+  static void clear_failure_hook() noexcept;
+
   static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
   /// Largest pooled request; chosen to cover the symbolic Node plus the
   /// shared_ptr control block with room to spare.
@@ -99,6 +109,12 @@ class Arena {
   void* allocate_large(std::size_t bytes, std::size_t align);
   void* refill_and_carve(std::size_t slot_bytes);
   static void deallocate_large(void* p, std::size_t align) noexcept;
+  /// Out-of-line slow path of the fault hook: decrements the countdown and
+  /// throws std::bad_alloc on the designated allocation.
+  static void fail_hook_tick();
+
+  /// < 0 disarmed; armed allocates pay one relaxed load.
+  static std::atomic<long long> fail_countdown_;
 
   // Serialized-allocate state (guarded by the caller's serialization).
   std::vector<void*> blocks_;
@@ -112,6 +128,7 @@ class Arena {
 };
 
 inline void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (fail_countdown_.load(std::memory_order_relaxed) >= 0) fail_hook_tick();
   live_.fetch_add(1, std::memory_order_relaxed);
 #if SOAP_ARENA_PASSTHROUGH
   return align > __STDCPP_DEFAULT_NEW_ALIGNMENT__

@@ -1,0 +1,65 @@
+#include "support/cancel.hpp"
+
+namespace soap::support {
+
+namespace {
+std::atomic<LiveNodeGauge> g_live_node_gauge{nullptr};
+}  // namespace
+
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInternalError:
+      return "internal_error";
+    case StatusCode::kInvalidInput:
+      return "invalid_input";
+    case StatusCode::kOptimizerNoConverge:
+      return "optimizer_no_converge";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kBudgetExceeded:
+      return "budget_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+int status_exit_code(StatusCode code) noexcept {
+  return static_cast<int>(code);
+}
+
+void register_live_node_gauge(LiveNodeGauge gauge) noexcept {
+  g_live_node_gauge.store(gauge, std::memory_order_release);
+}
+
+std::size_t live_node_count() noexcept {
+  LiveNodeGauge gauge = g_live_node_gauge.load(std::memory_order_acquire);
+  return gauge != nullptr ? gauge() : 0;
+}
+
+void StopCriteria::enforce(const char* where) const {
+  const StatusCode code = check();
+  switch (code) {
+    case StatusCode::kOk:
+      return;
+    case StatusCode::kCancelled:
+      throw AnalysisError(code,
+                          std::string("cancelled during ") + where);
+    case StatusCode::kDeadlineExceeded:
+      throw AnalysisError(code,
+                          std::string("deadline exceeded during ") + where);
+    case StatusCode::kBudgetExceeded:
+      throw AnalysisError(
+          code, "live-node budget exceeded (live=" +
+                    std::to_string(live_node_count()) +
+                    ", max=" + std::to_string(budget.max_live_nodes) +
+                    ") during " + where);
+    default:
+      throw AnalysisError(code, std::string(status_code_name(code)) +
+                                    " during " + where);
+  }
+}
+
+}  // namespace soap::support

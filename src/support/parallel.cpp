@@ -25,12 +25,14 @@ namespace {
 // outlives its referent observably.
 struct SharedWork {
   SharedWork(std::size_t n_in, std::size_t grain_in,
-             const std::function<void(std::size_t)>& fn_in)
-      : n(n_in), grain(grain_in), fn(fn_in) {}
+             const std::function<void(std::size_t)>& fn_in,
+             CancellationToken cancel_in)
+      : n(n_in), grain(grain_in), fn(fn_in), cancel(std::move(cancel_in)) {}
 
   const std::size_t n;
   const std::size_t grain;
   const std::function<void(std::size_t)>& fn;
+  const CancellationToken cancel;
 
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
@@ -46,6 +48,13 @@ struct SharedWork {
   void drain() {
     for (;;) {
       if (cancelled.load()) return;
+      if (cancel.cancelled()) {
+        // External cancellation: stop claiming.  The caller raises
+        // kCancelled after the helpers retire (a recorded fn failure still
+        // outranks it).
+        cancelled.store(true);
+        return;
+      }
       const std::size_t begin = next.fetch_add(grain);
       if (begin >= n) return;
       const std::size_t end = std::min(n, begin + grain);
@@ -92,7 +101,13 @@ void parallel_for(std::size_t n, const ParallelOptions& options,
   const std::size_t chunks = (n + grain - 1) / grain;
   if (threads <= 1 || chunks <= 1) {
     // Serial bypass: no executor, no shared state, native exception flow.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (options.cancel.cancelled()) {
+        throw AnalysisError(StatusCode::kCancelled,
+                            "parallel_for cancelled");
+      }
+      fn(i);
+    }
     return;
   }
 
@@ -103,10 +118,16 @@ void parallel_for(std::size_t n, const ParallelOptions& options,
   const std::size_t helpers = std::min(
       std::min(threads, chunks) - 1, options.executor.concurrency());
   if (helpers == 0) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (options.cancel.cancelled()) {
+        throw AnalysisError(StatusCode::kCancelled,
+                            "parallel_for cancelled");
+      }
+      fn(i);
+    }
     return;
   }
-  auto work = std::make_shared<SharedWork>(n, grain, fn);
+  auto work = std::make_shared<SharedWork>(n, grain, fn, options.cancel);
   for (std::size_t h = 0; h < helpers; ++h) {
     options.executor.submit([work] { helper_main(work); });
   }
@@ -123,6 +144,10 @@ void parallel_for(std::size_t n, const ParallelOptions& options,
     work->error = nullptr;
     lock.unlock();
     std::rethrow_exception(error);
+  }
+  lock.unlock();
+  if (options.cancel.cancelled()) {
+    throw AnalysisError(StatusCode::kCancelled, "parallel_for cancelled");
   }
 }
 

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/cancel.hpp"
 #include "support/executor.hpp"
 #include "support/thread_pool.hpp"
 
@@ -54,6 +55,12 @@ struct ParallelOptions {
   /// ExecutorRef::serial() forces the whole loop onto the calling thread
   /// regardless of `threads`.
   ExecutorRef executor;
+  /// External cooperative cancellation, polled between indices/chunks.  A
+  /// tripped token stops further claims and parallel_for raises
+  /// AnalysisError{kCancelled} — unless an earlier fn failure outranks it
+  /// (lowest index first, same rule as exceptions).  Default: never
+  /// cancelled, one null-pointer test per index.
+  CancellationToken cancel;
 };
 
 /// 0 -> hardware_threads(), anything else unchanged.

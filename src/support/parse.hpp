@@ -13,15 +13,34 @@ namespace soap::support {
 /// Strict digits-only parse of a non-negative integer: rejects empty input,
 /// sign prefixes (strtoul would silently wrap "-1" to ULONG_MAX), trailing
 /// garbage, and out-of-range values (ERANGE).  Shared by every `--threads`
-/// flag so a typo can never dial a tool up to hardware_concurrency.
-inline std::optional<std::size_t> parse_size_t(const std::string& value) {
-  if (value.empty() || !std::isdigit(static_cast<unsigned char>(value[0]))) {
+/// flag so a typo can never dial a tool up to hardware_concurrency.  When
+/// `error` is non-null, a rejection stores the human-readable reason — the
+/// CLI layer prints it next to the flag name so the user learns *why* the
+/// value was refused, not just that it was.
+inline std::optional<std::size_t> parse_size_t(const std::string& value,
+                                               std::string* error = nullptr) {
+  const auto fail = [error](std::string reason) -> std::optional<std::size_t> {
+    if (error != nullptr) *error = std::move(reason);
     return std::nullopt;
+  };
+  if (value.empty()) {
+    return fail("empty value (expected a non-negative integer)");
+  }
+  if (value[0] == '-') {
+    return fail("negative value '" + value + "' (sizes are non-negative)");
+  }
+  if (!std::isdigit(static_cast<unsigned char>(value[0]))) {
+    return fail("'" + value + "' is not a non-negative integer");
   }
   char* end = nullptr;
   errno = 0;
   unsigned long n = std::strtoul(value.c_str(), &end, 10);
-  if (*end != '\0' || errno == ERANGE) return std::nullopt;
+  if (errno == ERANGE) {
+    return fail("'" + value + "' is out of range for a size");
+  }
+  if (*end != '\0') {
+    return fail("trailing characters after the number in '" + value + "'");
+  }
   return static_cast<std::size_t>(n);
 }
 
@@ -36,20 +55,26 @@ enum class FlagParse {
 /// shared implementation behind every size-valued CLI flag (`--threads`,
 /// `--max-subgraph-size`, ...) across the bench drivers and analyze_tool;
 /// only the callers' error policies differ (silent fallback vs hard exit).
+/// On kBadValue with a non-null `error`, the reason (missing value /
+/// parse_size_t's rejection message) is stored for the caller to print.
 inline FlagParse consume_size_flag(int argc, char** argv, int& i,
-                                   const std::string& name, std::size_t& out) {
+                                   const std::string& name, std::size_t& out,
+                                   std::string* error = nullptr) {
   const std::string flag = "--" + name;
   const std::string arg = argv[i];
   std::string value;
   if (arg == flag) {
-    if (i + 1 >= argc) return FlagParse::kBadValue;
+    if (i + 1 >= argc) {
+      if (error != nullptr) *error = "missing value (expected " + flag + " N)";
+      return FlagParse::kBadValue;
+    }
     value = argv[++i];
   } else if (arg.rfind(flag + "=", 0) == 0) {
     value = arg.substr(flag.size() + 1);
   } else {
     return FlagParse::kNoMatch;
   }
-  std::optional<std::size_t> parsed = parse_size_t(value);
+  std::optional<std::size_t> parsed = parse_size_t(value, error);
   if (!parsed) return FlagParse::kBadValue;
   out = *parsed;
   return FlagParse::kOk;
@@ -62,19 +87,28 @@ inline FlagParse consume_size_flag(int argc, char** argv, int& i,
 /// by the `--family` filters of the bench drivers and analyze_tool.
 inline FlagParse consume_string_flag(int argc, char** argv, int& i,
                                      const std::string& name,
-                                     std::string& out) {
+                                     std::string& out,
+                                     std::string* error = nullptr) {
   const std::string flag = "--" + name;
   const std::string arg = argv[i];
   std::string value;
   if (arg == flag) {
-    if (i + 1 >= argc) return FlagParse::kBadValue;
+    if (i + 1 >= argc) {
+      if (error != nullptr) {
+        *error = "missing value (expected " + flag + " NAME)";
+      }
+      return FlagParse::kBadValue;
+    }
     value = argv[++i];
   } else if (arg.rfind(flag + "=", 0) == 0) {
     value = arg.substr(flag.size() + 1);
   } else {
     return FlagParse::kNoMatch;
   }
-  if (value.empty()) return FlagParse::kBadValue;
+  if (value.empty()) {
+    if (error != nullptr) *error = "empty value for " + flag;
+    return FlagParse::kBadValue;
+  }
   out = std::move(value);
   return FlagParse::kOk;
 }

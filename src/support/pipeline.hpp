@@ -57,6 +57,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "support/cancel.hpp"
 #include "support/executor.hpp"
 #include "support/parallel.hpp"
 
@@ -74,6 +75,14 @@ struct PipelineOptions {
   std::size_t reorder_window = 0;
   /// Where helper workers run; default = ThreadPool::global().
   ExecutorRef executor;
+  /// External cooperative cancellation, polled by the producer before every
+  /// enqueue and by workers at every claim.  Once the token trips, emit
+  /// returns false, queued items are dropped, and run_pipeline raises
+  /// AnalysisError{kCancelled} after the helpers retire — unless a real
+  /// failure with a lower sequence index was recorded first (the usual
+  /// ranking rule).  The consumed prefix remains valid.  Default: never
+  /// cancelled, one null-pointer test per poll.
+  CancellationToken cancel;
 };
 
 namespace detail {
@@ -120,6 +129,7 @@ struct PipelineState {
   const std::size_t window;
   const std::function<R(Item&&)>& work;
   const std::function<void(std::size_t, R&&)>& consume;
+  const CancellationToken cancel;  ///< external token; see PipelineOptions
 
   // All guarded by ctl.mu.
   std::deque<std::pair<std::size_t, Item>> queue;
@@ -128,11 +138,13 @@ struct PipelineState {
 
   PipelineState(std::size_t capacity_in, std::size_t window_in,
                 const std::function<R(Item&&)>& work_in,
-                const std::function<void(std::size_t, R&&)>& consume_in)
+                const std::function<void(std::size_t, R&&)>& consume_in,
+                CancellationToken cancel_in)
       : capacity(capacity_in),
         window(window_in),
         work(work_in),
-        consume(consume_in) {}
+        consume(consume_in),
+        cancel(std::move(cancel_in)) {}
 
   /// Claims one queued item and runs it through work + ordered delivery.
   /// wait=true blocks until an item arrives, the queue closes, or the
@@ -147,6 +159,9 @@ struct PipelineState {
           return ctl.cancelled.load() || ctl.closed || !queue.empty();
         });
       }
+      // Convert external cancellation into the internal cancelled state so
+      // queued items drop and every waiter wakes, same as an error would.
+      if (!ctl.cancelled.load() && cancel.cancelled()) ctl.cancel_locked();
       if (ctl.cancelled.load() || queue.empty()) return false;
       claim.emplace(std::move(queue.front()));
       queue.pop_front();
@@ -224,11 +239,15 @@ void run_pipeline(const PipelineOptions& options, Produce&& produce,
     // Serial bypass: emit -> work -> consume inline, native exceptions.
     std::size_t seq = 0;
     Emit emit = [&](Item&& item) -> bool {
+      if (options.cancel.cancelled()) return false;
       consume(seq, work(std::move(item)));
       ++seq;
       return true;
     };
     produce(static_cast<const Emit&>(emit));
+    if (options.cancel.cancelled()) {
+      throw AnalysisError(StatusCode::kCancelled, "pipeline cancelled");
+    }
     return;
   }
 
@@ -244,7 +263,7 @@ void run_pipeline(const PipelineOptions& options, Produce&& produce,
   // shared_ptr so a helper that starts after the caller already returned
   // (its work long since drained) still has valid state to no-op against.
   auto state = std::make_shared<detail::PipelineState<Item, R>>(
-      capacity, window, work_fn, consume_fn);
+      capacity, window, work_fn, consume_fn, options.cancel);
   for (std::size_t h = 0; h < helpers; ++h) {
     options.executor.submit([state] { state->helper_main(); });
   }
@@ -255,6 +274,13 @@ void run_pipeline(const PipelineOptions& options, Produce&& produce,
       {
         std::unique_lock<std::mutex> lock(state->ctl.mu);
         if (state->ctl.cancelled.load()) return false;
+        if (options.cancel.cancelled()) {
+          // External cancellation observed at the enqueue point (including
+          // while spinning on a full queue): drop to the cancelled state so
+          // helpers drain out instead of chewing queued items.
+          state->ctl.cancel_locked();
+          return false;
+        }
         if (state->queue.size() < state->capacity) {
           state->queue.emplace_back(produced, std::move(item));
           ++produced;
@@ -284,6 +310,9 @@ void run_pipeline(const PipelineOptions& options, Produce&& produce,
   state->drain();
   state->ctl.wait_helpers_retired();
   state->ctl.rethrow_if_error();
+  if (options.cancel.cancelled()) {
+    throw AnalysisError(StatusCode::kCancelled, "pipeline cancelled");
+  }
 }
 
 }  // namespace soap::support

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "support/arena.hpp"
+#include "support/cancel.hpp"
 
 namespace soap::sym {
 
@@ -130,8 +131,22 @@ InternShard& shard_for(std::size_t hash) {
   return expr_table().shards[hash >> (8 * sizeof(std::size_t) - kShardBits)];
 }
 
+/// Set by intern_node around the owning shared_ptr's construction, which
+/// runs under the shard's exclusive lock.  If control-block allocation
+/// throws, the shared_ptr constructor is required to invoke the deleter on
+/// the brand-new node — a node that was never published to any bucket and
+/// whose shard lock is still held by this thread.  The deleter detects that
+/// exact node here and parks it (intern_node finishes the teardown outside
+/// the lock) instead of deadlocking on the shard mutex or destroying
+/// operands under it.
+thread_local const Node* t_interning = nullptr;
+
 struct NodeDeleter {
   void operator()(const Node* n) const {
+    if (n == t_interning) {
+      t_interning = nullptr;
+      return;
+    }
     const std::size_t hash = n->hash;  // survives ~Node below
     InternShard& sh = shard_for(hash);
     {
@@ -229,12 +244,39 @@ NodePtr intern_node(Node&& n) {
     }
   }
   n.id = expr_table().next_id.fetch_add(1, std::memory_order_relaxed);
-  void* slot = sh.arena.allocate(sizeof(Node), alignof(Node));
+  void* slot = nullptr;
+  try {
+    // Reserving the bucket slot up front makes the publish step below
+    // nofail: once the shared_ptr owns the node, nothing on this path can
+    // throw while we still hold the lock its deleter would need.
+    vec.reserve(vec.size() + 1);
+    slot = sh.arena.allocate(sizeof(Node), alignof(Node));
+  } catch (...) {
+    if (vec.empty()) sh.buckets.erase(n.hash);
+    throw;  // out of memory before the node existed; table unchanged
+  }
   const Node* p = new (slot) Node(std::move(n));
-  // The control block is pooled in the same shard arena (leaf lock, see
-  // InternShard); the custom deleter runs the eviction protocol above.
-  NodePtr sp(p, NodeDeleter{},
-             support::ArenaAllocator<const Node>(&sh.arena));
+  NodePtr sp;
+  t_interning = p;
+  try {
+    // The control block is pooled in the same shard arena (leaf lock, see
+    // InternShard); the custom deleter runs the eviction protocol above.
+    sp = NodePtr(p, NodeDeleter{},
+                 support::ArenaAllocator<const Node>(&sh.arena));
+  } catch (...) {
+    // Control-block allocation failed.  The shared_ptr constructor already
+    // invoked the deleter, which parked the never-published node (see
+    // t_interning above); finish its teardown outside the lock, where
+    // operand destruction may recurse into other shards.
+    t_interning = nullptr;
+    if (vec.empty()) sh.buckets.erase(n.hash);
+    lock.unlock();
+    auto* m = const_cast<Node*>(p);
+    m->~Node();
+    sh.arena.deallocate(m, sizeof(Node), alignof(Node));
+    throw;
+  }
+  t_interning = nullptr;
   vec.emplace_back(p, std::weak_ptr<const Node>(sp));
   return sp;
 }
@@ -1249,5 +1291,17 @@ InternStats expr_intern_stats() {
       t.next_id.load(std::memory_order_relaxed) - 1;
   return stats;
 }
+
+namespace {
+// Wires support/cancel's node budget to the intern table's live count at
+// static-init time (support cannot depend on symbolic, so the gauge flows
+// the other way).  Any binary linking this layer gets the gauge; without it
+// live_node_count() reads 0 and the budget never trips.
+[[maybe_unused]] const bool g_node_gauge_registered = [] {
+  support::register_live_node_gauge(
+      +[]() -> std::size_t { return expr_intern_stats().live_nodes; });
+  return true;
+}();
+}  // namespace
 
 }  // namespace soap::sym

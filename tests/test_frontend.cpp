@@ -4,6 +4,7 @@
 
 #include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
+#include "support/cancel.hpp"
 
 namespace soap::frontend {
 namespace {
@@ -104,6 +105,60 @@ TEST(Lower, AffineSubscripts) {
 TEST(Lower, RejectsNonAffineSubscripts) {
   EXPECT_THROW(parse_program("for i in range(N):\n  b[i] = a[i*i]\n"),
                std::runtime_error);
+}
+
+// What the diagnostic says matters as much as that it throws: every
+// frontend error is an AnalysisError{kInvalidInput} carrying line:column
+// and the offending token/expression, so a user can find the problem in a
+// multi-statement source without bisecting it.
+TEST(Lower, DiagnosticCarriesPositionAndOffendingExpression) {
+  try {
+    parse_program("for i in range(N):\n  b[i] = a[i*i]\n");
+    FAIL() << "expected a lowering error";
+  } catch (const support::AnalysisError& e) {
+    EXPECT_EQ(e.code(), support::StatusCode::kInvalidInput);
+    const std::string msg = e.what();
+    // The subscript i*i starts at line 2; the '*' operator is the node the
+    // lowering rejects.
+    EXPECT_NE(msg.find("2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("i*i"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("non-affine product"), std::string::npos) << msg;
+  }
+}
+
+TEST(Lower, DiagnosticPointsAtNonAffineLoopBound) {
+  try {
+    parse_program("for i in range(N):\n  for j in range(N*i):\n"
+                  "    b[i] = a[j]\n");
+    FAIL() << "expected a lowering error";
+  } catch (const support::AnalysisError& e) {
+    EXPECT_EQ(e.code(), support::StatusCode::kInvalidInput);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("N*i"), std::string::npos) << msg;
+  }
+}
+
+TEST(Parser, SyntaxErrorIsInvalidInputWithPosition) {
+  try {
+    parse_python("for i in range(:\n  x[i] = 1\n");
+    FAIL() << "expected a parse error";
+  } catch (const support::AnalysisError& e) {
+    EXPECT_EQ(e.code(), support::StatusCode::kInvalidInput);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("near"), std::string::npos) << msg;
+  }
+}
+
+TEST(Lexer, BadCharacterIsInvalidInputWithPosition) {
+  try {
+    tokenize("x[i] = y @ z", false);
+    FAIL() << "expected a lex error";
+  } catch (const support::AnalysisError& e) {
+    EXPECT_EQ(e.code(), support::StatusCode::kInvalidInput);
+    EXPECT_NE(std::string(e.what()).find("1:10"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Lower, CallsAreTransparent) {

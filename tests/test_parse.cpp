@@ -41,6 +41,26 @@ TEST(ParseSizeT, RejectsEmptySignsGarbageAndOverflow) {
   EXPECT_FALSE(parse_size_t("99999999999999999999999999"));
 }
 
+TEST(ParseSizeT, ReportsWhyTheValueWasRejected) {
+  std::string why;
+  EXPECT_FALSE(parse_size_t("", &why));
+  EXPECT_NE(why.find("empty"), std::string::npos) << why;
+  EXPECT_FALSE(parse_size_t("-1", &why));
+  EXPECT_NE(why.find("non-negative"), std::string::npos) << why;
+  EXPECT_FALSE(parse_size_t("+1", &why));
+  EXPECT_NE(why.find("not a non-negative integer"), std::string::npos) << why;
+  EXPECT_FALSE(parse_size_t("4x", &why));
+  EXPECT_NE(why.find("trailing"), std::string::npos) << why;
+  EXPECT_FALSE(parse_size_t("99999999999999999999999999", &why));
+  EXPECT_NE(why.find("out of range"), std::string::npos) << why;
+}
+
+TEST(ParseSizeT, LeavesErrorUntouchedOnSuccess) {
+  std::string why = "unchanged";
+  EXPECT_EQ(parse_size_t("17", &why), std::size_t{17});
+  EXPECT_EQ(why, "unchanged");
+}
+
 TEST(ConsumeSizeFlag, MatchesSeparateValueAndAdvances) {
   Argv a({"tool", "--threads", "4", "file"});
   std::size_t out = 0;
@@ -82,6 +102,44 @@ TEST(ConsumeSizeFlag, ReportsMissingOrMalformedValues) {
               FlagParse::kBadValue);
   }
   EXPECT_EQ(out, 7u);  // out untouched on failure
+}
+
+TEST(ConsumeSizeFlag, SurfacesTheRejectionReason) {
+  std::size_t out = 0;
+  std::string why;
+  {
+    Argv a({"tool", "--threads"});
+    int i = 1;
+    EXPECT_EQ(consume_size_flag(a.argc(), a.argv(), i, "threads", out, &why),
+              FlagParse::kBadValue);
+    EXPECT_NE(why.find("missing value"), std::string::npos) << why;
+  }
+  {
+    Argv a({"tool", "--threads=-2"});
+    int i = 1;
+    EXPECT_EQ(consume_size_flag(a.argc(), a.argv(), i, "threads", out, &why),
+              FlagParse::kBadValue);
+    EXPECT_NE(why.find("non-negative"), std::string::npos) << why;
+  }
+}
+
+TEST(ConsumeStringFlag, SurfacesMissingAndEmptyValues) {
+  std::string out;
+  std::string why;
+  {
+    Argv a({"tool", "--family"});
+    int i = 1;
+    EXPECT_EQ(consume_string_flag(a.argc(), a.argv(), i, "family", out, &why),
+              FlagParse::kBadValue);
+    EXPECT_NE(why.find("missing value"), std::string::npos) << why;
+  }
+  {
+    Argv a({"tool", "--family="});
+    int i = 1;
+    EXPECT_EQ(consume_string_flag(a.argc(), a.argv(), i, "family", out, &why),
+              FlagParse::kBadValue);
+    EXPECT_NE(why.find("empty value"), std::string::npos) << why;
+  }
 }
 
 TEST(ConsumeSizeFlag, DoesNotMatchOtherFlagsOrPrefixes) {

@@ -375,5 +375,189 @@ TEST(Pipeline, RepeatedRunsOnTheGlobalPoolAreStable) {
   }
 }
 
+// --- external cancellation (PipelineOptions::cancel) ---
+
+TEST(Pipeline, PreTrippedTokenCancelsBeforeAnyWork) {
+  for (std::size_t workers : {1u, 4u}) {
+    CancellationSource source;
+    source.request_cancel();
+    PipelineOptions opt = with_workers(workers);
+    opt.cancel = source.token();
+    std::atomic<std::size_t> worked{0};
+    std::size_t produced = 0;
+    try {
+      run_pipeline<std::size_t>(
+          opt,
+          [&](const std::function<bool(std::size_t&&)>& emit) {
+            for (std::size_t i = 0; i < 100; ++i) {
+              if (!emit(std::size_t(i))) return;
+              ++produced;
+            }
+          },
+          [&](std::size_t&& i) {
+            worked.fetch_add(1);
+            return i;
+          },
+          [](std::size_t, std::size_t&&) {});
+      FAIL() << "expected AnalysisError{kCancelled} with " << workers
+             << " workers";
+    } catch (const AnalysisError& e) {
+      EXPECT_EQ(e.code(), StatusCode::kCancelled);
+    }
+    EXPECT_EQ(produced, 0u) << workers << " workers";
+    EXPECT_EQ(worked.load(), 0u) << workers << " workers";
+  }
+}
+
+TEST(Pipeline, CancelMidFlightWhileQueueFullUnderSlowConsumer) {
+  // Small queue + tiny reorder window + slow consumer: workers pile up on
+  // the reorder-window wait and the producer on help-first backpressure.
+  // Cancellation must wake all of them and drain cleanly (a missed wake
+  // shows up as the CTest timeout); the consumed prefix stays ordered.
+  ThreadPool pool(3);
+  CancellationSource source;
+  PipelineOptions opt = with_workers(4, &pool, /*capacity=*/2, /*window=*/2);
+  opt.cancel = source.token();
+  std::vector<std::size_t> consumed;
+  std::size_t produced = 0;
+  try {
+    run_pipeline<std::size_t>(
+        opt,
+        [&](const std::function<bool(std::size_t&&)>& emit) {
+          for (std::size_t i = 0; i < 100000; ++i) {
+            if (!emit(std::size_t(i))) return;
+            ++produced;
+          }
+        },
+        [](std::size_t&& i) { return i; },
+        [&](std::size_t seq, std::size_t&& value) {
+          EXPECT_EQ(seq, value);
+          consumed.push_back(seq);
+          if (seq == 20) source.request_cancel();
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        });
+    FAIL() << "expected AnalysisError{kCancelled}";
+  } catch (const AnalysisError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kCancelled);
+  }
+  // The producer stopped far short of the full range, and everything that
+  // reached the consumer did so in order.
+  EXPECT_LT(produced, 100000u);
+  for (std::size_t i = 0; i < consumed.size(); ++i) EXPECT_EQ(consumed[i], i);
+}
+
+TEST(Pipeline, RecordedWorkErrorOutranksCancellation) {
+  // A real failure recorded before (or while) the token trips must win:
+  // cancellation is a reason to stop, not a reason to hide the bug.
+  ThreadPool pool(2);
+  CancellationSource source;
+  PipelineOptions opt = with_workers(2, &pool);
+  opt.cancel = source.token();
+  try {
+    run_pipeline<std::size_t>(
+        opt,
+        [&](const std::function<bool(std::size_t&&)>& emit) {
+          for (std::size_t i = 0; i < 50; ++i) {
+            if (!emit(std::size_t(i))) return;
+          }
+        },
+        [&](std::size_t&& i) -> std::size_t {
+          if (i == 0) {
+            source.request_cancel();
+            throw std::runtime_error("work failure");
+          }
+          return i;
+        },
+        [](std::size_t, std::size_t&&) {});
+    FAIL() << "expected the work failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "work failure");
+  }
+}
+
+TEST(Pipeline, TeardownStressCancellationRacesOnSharedPool) {
+  // Many rounds of cancellation landing at varying phases of the run —
+  // during production, mid-drain, after completion — on one shared pool.
+  // The invariants: every round either completes fully or raises
+  // kCancelled, the consumed prefix is always in order, and the pool
+  // survives to the next round (leaks/deadlocks surface under the
+  // sanitizer presets; label `parallel` puts this suite in the TSan job).
+  ThreadPool pool(4);
+  for (int round = 0; round < 60; ++round) {
+    CancellationSource source;
+    PipelineOptions opt = with_workers(4, &pool, /*capacity=*/4, /*window=*/4);
+    opt.cancel = source.token();
+    std::vector<std::size_t> consumed;
+    std::thread killer([&source, round] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+      source.request_cancel();
+    });
+    bool cancelled = false;
+    try {
+      run_pipeline<std::size_t>(
+          opt,
+          [&](const std::function<bool(std::size_t&&)>& emit) {
+            for (std::size_t i = 0; i < 300; ++i) {
+              if (!emit(std::size_t(i))) return;
+            }
+          },
+          [](std::size_t&& i) {
+            std::this_thread::sleep_for(std::chrono::microseconds(5));
+            return i;
+          },
+          [&](std::size_t seq, std::size_t&&) { consumed.push_back(seq); });
+    } catch (const AnalysisError& e) {
+      EXPECT_EQ(e.code(), StatusCode::kCancelled) << "round " << round;
+      cancelled = true;
+    }
+    killer.join();
+    if (!cancelled) {
+      EXPECT_EQ(consumed.size(), 300u) << "round " << round;
+    }
+    for (std::size_t i = 0; i < consumed.size(); ++i) {
+      ASSERT_EQ(consumed[i], i) << "round " << round;
+    }
+  }
+}
+
+TEST(ParallelFor, PreTrippedTokenCancelsSerialAndParallel) {
+  for (std::size_t threads : {1u, 4u}) {
+    CancellationSource source;
+    source.request_cancel();
+    ParallelOptions opt;
+    opt.threads = threads;
+    opt.cancel = source.token();
+    std::atomic<std::size_t> ran{0};
+    try {
+      parallel_for(100, opt, [&](std::size_t) { ran.fetch_add(1); });
+      FAIL() << "expected AnalysisError{kCancelled} with " << threads
+             << " threads";
+    } catch (const AnalysisError& e) {
+      EXPECT_EQ(e.code(), StatusCode::kCancelled);
+    }
+    EXPECT_EQ(ran.load(), 0u) << threads << " threads";
+  }
+}
+
+TEST(ParallelFor, CancelMidRunStopsClaimingChunks) {
+  ThreadPool pool(4);
+  CancellationSource source;
+  ParallelOptions opt;
+  opt.threads = 4;
+  opt.executor = ExecutorRef(pool);
+  opt.cancel = source.token();
+  std::atomic<std::size_t> ran{0};
+  try {
+    parallel_for(100000, opt, [&](std::size_t) {
+      if (ran.fetch_add(1) == 64) source.request_cancel();
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+    });
+    FAIL() << "expected AnalysisError{kCancelled}";
+  } catch (const AnalysisError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kCancelled);
+  }
+  EXPECT_LT(ran.load(), 100000u);
+}
+
 }  // namespace
 }  // namespace soap::support

@@ -11,6 +11,7 @@
 
 #include <cctype>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "kernels/table2.hpp"
 #include "sdg/multi_statement.hpp"
 #include "support/executor.hpp"
+#include "support/fault_executor.hpp"
 #include "support/thread_pool.hpp"
 
 namespace soap::sdg {
@@ -208,6 +210,36 @@ for i in range(M):
     inline_only.threads = 8;
     inline_only.executor = support::ExecutorRef::serial();
     expect_identical(serial, snapshot(p, inline_only, 8), "serial executor");
+  }
+}
+
+TEST(SdgDeterminism, FaultInjectionSweepStaysBitIdentical) {
+  // A seeded delay/drop/reorder matrix over the helper executor: the
+  // fault-injection harness perturbs where and when helpers run, never what
+  // is computed — every seeded adversarial schedule must reproduce the
+  // serial bound bit for bit (docs/ROBUSTNESS.md, fault-injection sweep).
+  support::ThreadPool pool(4);
+  const std::vector<std::uint64_t> seeds =
+      kSanitized ? std::vector<std::uint64_t>{41}
+                 : std::vector<std::uint64_t>{41, 42, 43};
+  for (const char* name : {"atax", "2mm", "softmax"}) {
+    const kernels::KernelEntry& k = kernels::kernel_by_name(name);
+    Program program = k.build();
+    Snapshot serial = snapshot(program, k.options, 1);
+    for (std::uint64_t seed : seeds) {
+      support::FaultPlan plan;
+      plan.seed = seed;
+      plan.delay_permille = 250;
+      plan.delay_max_us = 100;
+      plan.drop_permille = 250;
+      plan.reorder_window = 4;
+      support::FaultInjectingExecutor exec(pool, plan);
+      SdgOptions faulty = k.options;
+      faulty.executor = support::ExecutorRef(exec);
+      expect_identical(serial, snapshot(program, faulty, 4),
+                       std::string(name) + " under fault seed " +
+                           std::to_string(seed));
+    }
   }
 }
 
