@@ -41,6 +41,18 @@
 //   soap_analyze --node-budget N         # cap on live interned symbolic
 //                                        # nodes (0 = unlimited); a trip
 //                                        # degrades and exits 5
+//   soap_analyze --json                  # machine-readable output: one
+//                                        # JSON object per run (program,
+//                                        # --kernel, --corpus, and
+//                                        # --attainment modes); the text
+//                                        # format is untouched
+//   soap_analyze --cache                 # route derivations through the
+//                                        # in-memory bound cache (program,
+//                                        # --kernel, --corpus modes);
+//                                        # results are bit-identical
+//   soap_analyze --cache-file PATH       # persistent cache (implies
+//                                        # --cache): loaded at startup,
+//                                        # appended on every store
 //
 // Exit codes follow support::StatusCode (docs/ROBUSTNESS.md): 0 ok,
 // 1 internal error, 2 invalid input/usage, 3 optimizer no-converge,
@@ -53,8 +65,11 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/attainment.hpp"
@@ -62,6 +77,10 @@
 #include "kernels/table2.hpp"
 #include "sdg/multi_statement.hpp"
 #include "sdg/sdg.hpp"
+#include "service/analyze.hpp"
+#include "service/bound_cache.hpp"
+#include "service/cache_key.hpp"
+#include "service/json.hpp"
 #include "soap/program.hpp"
 #include "support/cancel.hpp"
 #include "support/parse.hpp"
@@ -101,7 +120,7 @@ bool parse_cache_sizes(const std::string& csv, std::vector<long long>& out) {
 // derived tiling, with the soundness invariant enforced via the exit code.
 int run_attainment(const std::string& family, std::size_t threads,
                    const std::vector<long long>& cache_sizes,
-                   const soap::support::StopCriteria& stop) {
+                   const soap::support::StopCriteria& stop, bool json) {
   using namespace soap;
   analysis::AttainmentOptions options;
   options.threads = threads;
@@ -119,7 +138,11 @@ int run_attainment(const std::string& family, std::size_t threads,
     }
     rows = analysis::attainment_table(subset, options);
   }
-  std::fputs(analysis::format_attainment_table(rows).c_str(), stdout);
+  if (json) {
+    std::printf("%s\n", service::attainment_json(rows).c_str());
+  } else {
+    std::fputs(analysis::format_attainment_table(rows).c_str(), stdout);
+  }
   return analysis::count_unsound(rows) == 0 ? 0 : 1;
 }
 
@@ -153,7 +176,8 @@ int list_kernels() {
 // batch, the failure summary goes to stderr, and the exit code is the
 // class of the first non-ok kernel.
 int run_corpus(const std::string& family, std::size_t threads,
-               const soap::support::StopCriteria& stop) {
+               const soap::support::StopCriteria& stop, bool json,
+               soap::service::BoundCache* cache) {
   using namespace soap;
   const kernels::Registry& registry = kernels::Registry::instance();
   std::vector<const kernels::KernelEntry*> rows;
@@ -171,7 +195,15 @@ int run_corpus(const std::string& family, std::size_t threads,
   kernels::CorpusOptions options;
   options.threads = threads;
   options.stop = stop;
-  kernels::CorpusReport report = kernels::analyze_corpus_resilient(rows, options);
+  kernels::CorpusReport report =
+      cache != nullptr ? service::analyze_corpus_cached(*cache, rows, options)
+                       : kernels::analyze_corpus_resilient(rows, options);
+  if (json) {
+    std::printf("%s\n", service::corpus_json(report).c_str());
+    const std::string summary = report.failure_summary();
+    if (!summary.empty()) std::fputs(summary.c_str(), stderr);
+    return support::status_exit_code(report.worst_status());
+  }
   for (const kernels::KernelOutcome& out : report.kernels) {
     if (out.ok()) {
       std::printf("%-16s %-22s Q >= %s%s\n", out.family.c_str(),
@@ -195,7 +227,8 @@ int run_corpus(const std::string& family, std::size_t threads,
 // (per-statement fallback) bound — the partial result — before exiting
 // with the trip code.
 int run_kernel(const std::string& name, std::size_t threads,
-               const soap::support::StopCriteria& stop) {
+               const soap::support::StopCriteria& stop, bool json,
+               soap::service::BoundCache* cache) {
   using namespace soap;
   const kernels::KernelEntry* entry = nullptr;
   try {
@@ -206,7 +239,13 @@ int run_kernel(const std::string& name, std::size_t threads,
     return support::status_exit_code(support::StatusCode::kInvalidInput);
   }
   kernels::KernelOutcome out =
-      kernels::analyze_kernel_checked(*entry, threads, {}, stop);
+      cache != nullptr
+          ? service::analyze_kernel_cached(*cache, *entry, threads, {}, stop)
+          : kernels::analyze_kernel_checked(*entry, threads, {}, stop);
+  if (json) {
+    std::printf("%s\n", service::outcome_json(out).c_str());
+    return support::status_exit_code(out.status);
+  }
   if (out.ok()) {
     std::printf("%-16s %-22s Q >= %s\n", out.family.c_str(),
                 out.kernel.c_str(), out.bound->str().c_str());
@@ -231,6 +270,9 @@ int main(int argc, char** argv) {
   bool list = false;
   bool corpus = false;
   bool attainment = false;
+  bool json = false;
+  bool use_cache = false;
+  std::string cache_file;
   std::string family;
   std::string kernel;
   std::string cache_sizes_csv;
@@ -272,6 +314,26 @@ int main(int argc, char** argv) {
     if (arg == "--attainment") {
       attainment = true;
       continue;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--cache") {
+      use_cache = true;
+      continue;
+    }
+    switch (support::consume_string_flag(argc, argv, i, "cache-file",
+                                         cache_file, &flag_error)) {
+      case support::FlagParse::kOk:
+        use_cache = true;
+        continue;
+      case support::FlagParse::kBadValue:
+        std::fprintf(stderr, "invalid value for --cache-file: %s\n",
+                     flag_error.c_str());
+        return usage(argv[0]);
+      case support::FlagParse::kNoMatch:
+        break;
     }
     switch (support::consume_string_flag(argc, argv, i, "cache-sizes",
                                          cache_sizes_csv, &flag_error)) {
@@ -382,18 +444,41 @@ int main(int argc, char** argv) {
                  "--list-kernels/--corpus/--family/--attainment\n");
     return usage(argv[0]);
   }
+  if (json && (list || dump_sdg)) {
+    std::fprintf(stderr, "--json does not apply to --list-kernels or --sdg\n");
+    return usage(argv[0]);
+  }
+  // Attainment derives tiles and runs simulations beyond the cached bound
+  // surface, and --list-kernels derives nothing; accepting --cache there
+  // would silently do nothing, breaking this tool's strict-flag contract.
+  if (use_cache && (list || attainment)) {
+    std::fprintf(stderr,
+                 "--cache/--cache-file do not apply to "
+                 "--list-kernels/--attainment\n");
+    return usage(argv[0]);
+  }
   // Termination criteria apply uniformly to every analysis mode; the
   // deadline clock starts here, after flag parsing.
   support::StopCriteria stop;
   if (timeout_ms != 0) stop.deadline = support::Deadline::after_ms(timeout_ms);
   stop.budget.max_live_nodes = node_budget;
   options.stop = stop;
+  std::unique_ptr<service::BoundCache> cache;
+  if (use_cache) {
+    service::BoundCacheOptions cache_options;
+    cache_options.persist_path = cache_file;
+    cache = std::make_unique<service::BoundCache>(cache_options);
+  }
   if (list) return list_kernels();
   if (attainment) {
-    return run_attainment(family, options.threads, cache_sizes, stop);
+    return run_attainment(family, options.threads, cache_sizes, stop, json);
   }
-  if (corpus) return run_corpus(family, options.threads, stop);
-  if (!kernel.empty()) return run_kernel(kernel, options.threads, stop);
+  if (corpus) {
+    return run_corpus(family, options.threads, stop, json, cache.get());
+  }
+  if (!kernel.empty()) {
+    return run_kernel(kernel, options.threads, stop, json, cache.get());
+  }
   std::string source;
   if (path.empty()) {
     std::ostringstream ss;
@@ -411,16 +496,50 @@ int main(int argc, char** argv) {
   }
   try {
     Program program = frontend::parse_program(source);
-    std::printf("parsed %zu statement(s):\n%s\n", program.statements.size(),
-                program.str().c_str());
-    for (const auto& v : check_soap(program)) {
-      std::printf("note [%s/%s]: %s\n", v.statement.c_str(), v.array.c_str(),
-                  v.reason.c_str());
+    if (!json) {
+      std::printf("parsed %zu statement(s):\n%s\n", program.statements.size(),
+                  program.str().c_str());
+      for (const auto& v : check_soap(program)) {
+        std::printf("note [%s/%s]: %s\n", v.statement.c_str(),
+                    v.array.c_str(), v.reason.c_str());
+      }
+      if (dump_sdg) {
+        std::printf("\n%s\n", sdg::Sdg::build(program).dot().c_str());
+      }
     }
-    if (dump_sdg) {
-      std::printf("\n%s\n", sdg::Sdg::build(program).dot().c_str());
+    std::optional<sdg::MultiStatementBound> bound;
+    const char* cache_outcome = "off";
+    if (cache != nullptr) {
+      service::ProgramAnalysis analysis =
+          service::analyze_program_cached(*cache, program, options);
+      bound = std::move(analysis.bound);
+      cache_outcome = service::cache_outcome_name(analysis.outcome);
+    } else {
+      bound = sdg::multi_statement_bound(program, options);
     }
-    auto bound = sdg::multi_statement_bound(program, options);
+    if (json) {
+      const service::CacheKey key = service::make_cache_key(program, options);
+      std::string reply =
+          "{\"digest\":" + service::json_string(key.digest.hex());
+      reply += ",\"cache\":" + service::json_string(cache_outcome);
+      if (!bound) {
+        reply +=
+            ",\"status\":\"ok\",\"bound\":null,"
+            "\"note\":\"no non-trivial bound (unlimited reuse)\"";
+      } else {
+        const char* status =
+            bound->degraded ? support::status_code_name(bound->degraded_reason)
+                            : "ok";
+        reply += ",\"status\":" + service::json_string(status) + ',' +
+                 service::bound_json_fields(*bound);
+      }
+      reply += '}';
+      std::printf("%s\n", reply.c_str());
+      if (bound && bound->degraded) {
+        return support::status_exit_code(bound->degraded_reason);
+      }
+      return 0;
+    }
     if (!bound) {
       std::puts("no non-trivial bound (unbounded reuse)");
       return 0;

@@ -5,6 +5,7 @@
 #   <out_dir>/BENCH_symbolic.json   (bench_symbolic_core)
 #   <out_dir>/BENCH_analysis.json   (bench_analysis_perf)
 #   <out_dir>/BENCH_sdg.json        (bench_sdg_scaling)
+#   <out_dir>/BENCH_bound_cache.json (bench_bound_cache)
 # so future PRs can diff their numbers against the committed baselines.
 #
 # Usage:
@@ -48,5 +49,6 @@ run() {
 run bench_symbolic_core "$out_dir/BENCH_symbolic.json" "$@"
 run bench_analysis_perf "$out_dir/BENCH_analysis.json" "$@"
 run bench_sdg_scaling "$out_dir/BENCH_sdg.json" "$@"
+run bench_bound_cache "$out_dir/BENCH_bound_cache.json" "$@"
 
 echo "baselines written to $out_dir/"

@@ -1,0 +1,272 @@
+#include "service/bound_cache.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "service/serialize.hpp"
+#include "support/cancel.hpp"
+
+namespace soap::service {
+
+namespace {
+
+// First line of every persistence file; a file with any other first line is
+// treated as a stale format and ignored wholesale (the cache then starts
+// cold and rewrites nothing — append-only files are never truncated here).
+constexpr const char* kPersistHeader = "soap-bound-cache v1";
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* cache_outcome_name(CacheOutcome outcome) noexcept {
+  switch (outcome) {
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kCoalesced:
+      return "coalesced";
+  }
+  return "unknown";
+}
+
+/// One in-flight derivation: the leader publishes result-or-error and
+/// notifies; followers wait.  Lives on the heap via shared_ptr so a
+/// follower that outlives the shard's flight-map entry still sees the
+/// publication.
+struct BoundCache::Flight {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<sdg::MultiStatementBound> result;
+  std::exception_ptr error;
+};
+
+struct BoundCache::Shard {
+  struct Entry {
+    CacheKey key;
+    sdg::MultiStatementBound bound;
+  };
+
+  mutable std::mutex mutex;
+  /// front = most recently used.
+  std::list<Entry> lru;
+  std::unordered_map<CacheKey, std::list<Entry>::iterator> index;
+  std::unordered_map<CacheKey, std::shared_ptr<Flight>> flights;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> coalesced{0};
+  std::atomic<std::uint64_t> evicted{0};
+};
+
+BoundCache::BoundCache(BoundCacheOptions options)
+    : options_(std::move(options)) {
+  const std::size_t nshards =
+      round_up_pow2(options_.shards == 0 ? 1 : options_.shards);
+  shard_mask_ = nshards - 1;
+  per_shard_capacity_ =
+      std::max<std::size_t>(1, (options_.max_entries + nshards - 1) / nshards);
+  shards_.reserve(nshards);
+  for (std::size_t i = 0; i < nshards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (!options_.persist_path.empty()) {
+    load_persisted();
+    // Open for append after loading; write the header iff the file is new
+    // or empty so restarts keep appending to the same warm file.
+    std::ifstream probe(options_.persist_path);
+    const bool empty = !probe || probe.peek() == std::ifstream::traits_type::eof();
+    probe.close();
+    persist_out_ = std::make_unique<std::ofstream>(
+        options_.persist_path, std::ios::app);
+    if (empty && *persist_out_) {
+      *persist_out_ << kPersistHeader << '\n';
+      persist_out_->flush();
+    }
+  }
+}
+
+BoundCache::~BoundCache() = default;
+
+BoundCache::Shard& BoundCache::shard_of(const CacheKey& key) const {
+  return *shards_[static_cast<std::size_t>(key.digest.hi) & shard_mask_];
+}
+
+CachedBound BoundCache::get_or_derive(
+    const CacheKey& key,
+    const std::function<sdg::MultiStatementBound()>& derive) {
+  Shard& shard = shard_of(key);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.index.find(key); it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return {it->second->bound, CacheOutcome::kHit};
+    }
+    if (auto it = shard.flights.find(key); it != shard.flights.end()) {
+      flight = it->second;
+    } else {
+      flight = std::make_shared<Flight>();
+      shard.flights.emplace(key, flight);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+    shard.coalesced.fetch_add(1, std::memory_order_relaxed);
+    if (flight->error) std::rethrow_exception(flight->error);
+    return {*flight->result, CacheOutcome::kCoalesced};
+  }
+
+  // Leader: derive outside every lock so distinct keys never serialize.
+  std::optional<sdg::MultiStatementBound> bound;
+  std::exception_ptr error;
+  try {
+    bound = derive();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  // Store before retiring the flight: a request landing in between sees
+  // the index entry (hit) rather than becoming a redundant leader.  A
+  // degraded bound depends on wall-clock/budget state the key excludes,
+  // so it is served to the coalesced waiters but never stored.
+  if (!error && !bound->degraded) store(key, *bound, /*persist=*/true);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.flights.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->result = bound;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
+  if (error) std::rethrow_exception(error);
+  return {*std::move(bound), CacheOutcome::kMiss};
+}
+
+std::optional<sdg::MultiStatementBound> BoundCache::lookup(
+    const CacheKey& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second->bound;
+}
+
+void BoundCache::put(const CacheKey& key,
+                     const sdg::MultiStatementBound& bound) {
+  if (bound.degraded) return;
+  store(key, bound, /*persist=*/true);
+}
+
+void BoundCache::store(const CacheKey& key,
+                       const sdg::MultiStatementBound& bound, bool persist) {
+  Shard& shard = shard_of(key);
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.index.find(key); it != shard.index.end()) {
+      // First store wins — a duplicate is necessarily the identical bound
+      // (the key is a pure function of what derives it).
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Shard::Entry{key, bound});
+      shard.index.emplace(key, shard.lru.begin());
+      inserted = true;
+      while (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        shard.evicted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Live-node budget (PR 8 gauge): dropping LRU entries releases their
+  // Expr references, letting the weakly-held intern table reclaim nodes.
+  // Bounded by this shard's size, so a budget below the process floor
+  // degenerates to "cache nothing", never to a spin.
+  if (options_.max_live_nodes != 0 &&
+      support::live_node_count() > options_.max_live_nodes) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    while (!shard.lru.empty() &&
+           support::live_node_count() > options_.max_live_nodes) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      shard.evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (inserted && persist && persist_out_ != nullptr) {
+    append_persisted(key, bound);
+  }
+}
+
+void BoundCache::load_persisted() {
+  std::ifstream in(options_.persist_path);
+  if (!in) return;
+  std::string line;
+  if (!std::getline(in, line) || line != kPersistHeader) return;
+  while (std::getline(in, line)) {
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) continue;  // torn/garbage line
+    const std::optional<support::Digest> digest =
+        support::Digest::from_hex(std::string_view(line).substr(0, tab));
+    if (!digest) continue;
+    const std::optional<sdg::MultiStatementBound> bound =
+        deserialize_bound(std::string_view(line).substr(tab + 1));
+    if (!bound) continue;
+    store(CacheKey{*digest}, *bound, /*persist=*/false);
+    ++persisted_loaded_;
+  }
+}
+
+void BoundCache::append_persisted(const CacheKey& key,
+                                  const sdg::MultiStatementBound& bound) {
+  const std::string record = serialize_bound(bound);
+  std::lock_guard<std::mutex> lock(persist_mutex_);
+  if (!*persist_out_) return;  // disk trouble: serve from memory only
+  *persist_out_ << key.digest.hex() << '\t' << record << '\n';
+  persist_out_->flush();
+}
+
+BoundCacheStats BoundCache::stats() const {
+  BoundCacheStats s;
+  s.persisted_loaded = persisted_loaded_;
+  for (const auto& shard : shards_) {
+    s.hits += shard->hits.load(std::memory_order_relaxed);
+    s.misses += shard->misses.load(std::memory_order_relaxed);
+    s.coalesced += shard->coalesced.load(std::memory_order_relaxed);
+    s.evicted += shard->evicted.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.entries += shard->lru.size();
+  }
+  return s;
+}
+
+std::size_t BoundCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+}  // namespace soap::service

@@ -1,0 +1,180 @@
+#include "service/cache_key.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/interner.hpp"
+
+namespace soap::service {
+
+namespace {
+
+using support::Digest;
+using support::DigestWriter;
+
+// Record tags.  Part of the persisted digest format — extend, never renumber
+// (bump support::kDigestFormatVersion instead).
+enum Tag : std::uint8_t {
+  kConst = 1,
+  kSymbol = 2,
+  kAdd = 3,
+  kMul = 4,
+  kPow = 5,
+  kMin = 6,
+  kMax = 7,
+  kAffine = 8,
+  kAccess = 9,
+  kLoop = 10,
+  kStatement = 11,
+  kProgram = 12,
+  kOptions = 13,
+};
+
+void mix_rational(DigestWriter& w, const Rational& r) {
+  // int128 halves, low word first; the sign rides in the high word's
+  // two's complement.
+  const auto mix_i128 = [&w](int128 v) {
+    w.mix_u64(static_cast<std::uint64_t>(static_cast<unsigned __int128>(v)));
+    w.mix_u64(
+        static_cast<std::uint64_t>(static_cast<unsigned __int128>(v) >> 64));
+  };
+  mix_i128(r.num());
+  mix_i128(r.den());
+}
+
+Digest expr_digest_impl(const sym::Expr& e, ExprDigestMemo& memo) {
+  if (auto it = memo.find(e); it != memo.end()) return it->second;
+  DigestWriter w;
+  switch (e.kind()) {
+    case sym::Kind::kConst:
+      w.mix_tag(kConst);
+      mix_rational(w, e.value());
+      break;
+    case sym::Kind::kSymbol:
+      // By name, never SymId: ids are handed out in process-local intern
+      // order and would alias across runs.
+      w.mix_tag(kSymbol);
+      w.mix_string(e.name());
+      break;
+    case sym::Kind::kPow:
+      w.mix_tag(kPow);
+      w.mix_digest(expr_digest_impl(e.operands()[0], memo));
+      mix_rational(w, e.exponent());
+      break;
+    case sym::Kind::kAdd:
+    case sym::Kind::kMul:
+    case sym::Kind::kMin:
+    case sym::Kind::kMax: {
+      const std::uint8_t tag = e.kind() == sym::Kind::kAdd   ? kAdd
+                               : e.kind() == sym::Kind::kMul ? kMul
+                               : e.kind() == sym::Kind::kMin ? kMin
+                                                             : kMax;
+      w.mix_tag(tag);
+      w.mix_u64(e.operands().size());
+      // Stored operand order is the canonical structural order (Expr's
+      // compare()), which is content-determined — safe to digest as-is.
+      for (const sym::Expr& op : e.operands()) {
+        w.mix_digest(expr_digest_impl(op, memo));
+      }
+      break;
+    }
+  }
+  Digest d = w.finish();
+  memo.emplace(e, d);
+  return d;
+}
+
+void mix_affine(DigestWriter& w, const Affine& a) {
+  w.mix_tag(kAffine);
+  mix_rational(w, a.constant());
+  // SymMap iterates in SymId (intern) order — process-local; sort the
+  // coefficient list by variable name for a stable stream.
+  std::vector<std::pair<std::string, Rational>> coeffs;
+  coeffs.reserve(a.coeffs().size());
+  for (const auto& [id, c] : a.coeffs()) {
+    coeffs.emplace_back(symbol_name(id), c);
+  }
+  std::sort(coeffs.begin(), coeffs.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  w.mix_u64(coeffs.size());
+  for (const auto& [name, c] : coeffs) {
+    w.mix_string(name);
+    mix_rational(w, c);
+  }
+}
+
+void mix_access(DigestWriter& w, const ArrayAccess& access) {
+  w.mix_tag(kAccess);
+  w.mix_string(access.array);
+  w.mix_u64(access.components.size());
+  for (const AccessComponent& component : access.components) {
+    w.mix_u64(component.index.size());
+    for (const Affine& a : component.index) mix_affine(w, a);
+  }
+}
+
+void mix_statement(DigestWriter& w, const Statement& s) {
+  w.mix_tag(kStatement);
+  w.mix_string(s.name);
+  w.mix_u64(s.domain.loops().size());
+  for (const Loop& loop : s.domain.loops()) {
+    w.mix_tag(kLoop);
+    w.mix_string(loop.var);
+    mix_affine(w, loop.lower);
+    mix_affine(w, loop.upper);
+  }
+  mix_access(w, s.output);
+  w.mix_u64(s.inputs.size());
+  for (const ArrayAccess& input : s.inputs) mix_access(w, input);
+  // std::map: already sorted by array name.
+  w.mix_u64(s.max_overlap_dims.size());
+  for (const auto& [array, dims] : s.max_overlap_dims) {
+    w.mix_string(array);
+    w.mix_u64(dims.size());
+    for (const int d : dims) w.mix_i64(d);
+  }
+}
+
+}  // namespace
+
+Digest expr_digest(const sym::Expr& e, ExprDigestMemo& memo) {
+  return expr_digest_impl(e, memo);
+}
+
+Digest expr_digest(const sym::Expr& e) {
+  ExprDigestMemo memo;
+  return expr_digest_impl(e, memo);
+}
+
+Digest program_digest(const Program& program) {
+  DigestWriter w;
+  ExprDigestMemo memo;
+  w.mix_tag(kProgram);
+  w.mix_u64(program.statements.size());
+  for (const Statement& s : program.statements) mix_statement(w, s);
+  // std::map: already sorted by array name.
+  w.mix_u64(program.array_size_hint.size());
+  for (const auto& [array, size] : program.array_size_hint) {
+    w.mix_string(array);
+    w.mix_digest(expr_digest_impl(size, memo));
+  }
+  return w.finish();
+}
+
+CacheKey make_cache_key(const Program& program,
+                        const sdg::SdgOptions& options) {
+  DigestWriter w;
+  w.mix_u64(support::kDigestFormatVersion);
+  w.mix_digest(program_digest(program));
+  // Only the fields that change *what* is derived; see the header comment
+  // for the exclusion rationale.
+  w.mix_tag(kOptions);
+  w.mix_u64(options.max_subgraph_size);
+  w.mix_u64(options.max_subgraphs);
+  w.mix_bool(options.use_cold_bound);
+  return CacheKey{w.finish()};
+}
+
+}  // namespace soap::service

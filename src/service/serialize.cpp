@@ -1,0 +1,345 @@
+#include "service/serialize.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace soap::service {
+
+namespace {
+
+using sym::Expr;
+using sym::ExprVec;
+using sym::Kind;
+
+// --- int128 decimal (Rational::str renders "n/d"; we keep the halves
+// separate so the parser never needs to split on '/'-in-name edge cases).
+
+void append_i128(std::string& out, int128 v) {
+  if (v == 0) {
+    out += '0';
+    return;
+  }
+  unsigned __int128 mag;
+  if (v < 0) {
+    out += '-';
+    mag = static_cast<unsigned __int128>(-(v + 1)) + 1;  // avoid -INT128_MIN
+  } else {
+    mag = static_cast<unsigned __int128>(v);
+  }
+  char buf[48];
+  int n = 0;
+  while (mag != 0) {
+    buf[n++] = static_cast<char>('0' + static_cast<int>(mag % 10));
+    mag /= 10;
+  }
+  while (n > 0) out += buf[--n];
+}
+
+bool parse_i128(std::string_view s, int128& out) {
+  if (s.empty()) return false;
+  bool negative = false;
+  std::size_t i = 0;
+  if (s[0] == '-') {
+    negative = true;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  if (s.size() - i > 39) return false;  // beyond int128 magnitude
+  unsigned __int128 mag = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    mag = mag * 10 + static_cast<unsigned>(s[i] - '0');
+  }
+  constexpr unsigned __int128 kMax =
+      (static_cast<unsigned __int128>(1) << 127);  // |INT128_MIN|
+  if (negative ? mag > kMax : mag >= kMax) return false;
+  if (negative) {
+    out = static_cast<int128>(~mag + 1);  // two's-complement negate
+  } else {
+    out = static_cast<int128>(mag);
+  }
+  return true;
+}
+
+void append_rational(std::string& out, const Rational& r) {
+  append_i128(out, r.num());
+  if (!r.is_integer()) {
+    out += '/';
+    append_i128(out, r.den());
+  }
+}
+
+bool parse_rational(std::string_view s, Rational& out) {
+  const std::size_t slash = s.find('/');
+  int128 num = 0;
+  int128 den = 1;
+  if (slash == std::string_view::npos) {
+    if (!parse_i128(s, num)) return false;
+  } else {
+    if (!parse_i128(s.substr(0, slash), num)) return false;
+    if (!parse_i128(s.substr(slash + 1), den)) return false;
+    if (den == 0) return false;
+  }
+  out = Rational(num, den);
+  return true;
+}
+
+// --- token cursor: '(' / ')' are single-character tokens, everything else
+// splits on whitespace.
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  /// Next token, or empty view at end of input.
+  std::string_view next() {
+    skip_ws();
+    if (pos_ >= text_.size()) return {};
+    if (text_[pos_] == '(' || text_[pos_] == ')') {
+      return text_.substr(pos_++, 1);
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != '(' && text_[pos_] != ')') {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void write_expr(std::string& out, const Expr& e) {
+  switch (e.kind()) {
+    case Kind::kConst:
+      out += "(c ";
+      append_rational(out, e.value());
+      out += ')';
+      return;
+    case Kind::kSymbol:
+      out += "(s ";
+      out += e.name();
+      out += ')';
+      return;
+    case Kind::kPow:
+      out += "(^ ";
+      write_expr(out, e.operands()[0]);
+      out += ' ';
+      append_rational(out, e.exponent());
+      out += ')';
+      return;
+    case Kind::kAdd:
+    case Kind::kMul:
+    case Kind::kMin:
+    case Kind::kMax: {
+      out += '(';
+      out += e.kind() == Kind::kAdd   ? "+"
+             : e.kind() == Kind::kMul ? "*"
+             : e.kind() == Kind::kMin ? "min"
+                                      : "max";
+      for (const Expr& op : e.operands()) {
+        out += ' ';
+        write_expr(out, op);
+      }
+      out += ')';
+      return;
+    }
+  }
+}
+
+std::optional<Expr> read_expr(Cursor& cursor) {
+  if (cursor.next() != "(") return std::nullopt;
+  const std::string_view head = cursor.next();
+  if (head == "c") {
+    Rational r;
+    if (!parse_rational(cursor.next(), r)) return std::nullopt;
+    if (cursor.next() != ")") return std::nullopt;
+    return Expr::constant(r);
+  }
+  if (head == "s") {
+    const std::string_view name = cursor.next();
+    if (name.empty() || name == ")" || name == "(") return std::nullopt;
+    if (cursor.next() != ")") return std::nullopt;
+    return Expr::symbol(std::string(name));
+  }
+  if (head == "^") {
+    std::optional<Expr> base = read_expr(cursor);
+    if (!base) return std::nullopt;
+    Rational e;
+    if (!parse_rational(cursor.next(), e)) return std::nullopt;
+    if (cursor.next() != ")") return std::nullopt;
+    return sym::pow(*base, e);
+  }
+  if (head == "+" || head == "*" || head == "min" || head == "max") {
+    // Peek-free loop: read sub-expressions until the closing paren.  We
+    // need one token of lookahead, so re-tokenize via a tiny buffer.
+    ExprVec operands;
+    while (true) {
+      // Every operand starts with '('; a ')' closes this node.  Copy the
+      // cursor to peek without a dedicated pushback mechanism.
+      Cursor peek = cursor;
+      const std::string_view tok = peek.next();
+      if (tok == ")") {
+        cursor = peek;
+        break;
+      }
+      if (tok != "(") return std::nullopt;
+      std::optional<Expr> op = read_expr(cursor);
+      if (!op) return std::nullopt;
+      operands.push_back(*op);
+    }
+    if (operands.empty()) return std::nullopt;
+    if (head == "+") return sym::make_add(std::move(operands));
+    if (head == "*") return sym::make_mul(std::move(operands));
+    if (head == "min") return sym::min(std::move(operands));
+    return sym::max(std::move(operands));
+  }
+  return std::nullopt;
+}
+
+void append_double_bits(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  out += buf;
+}
+
+bool parse_double_bits(std::string_view s, double& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (const char c : s) {
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    bits = (bits << 4) | static_cast<std::uint64_t>(v);
+  }
+  std::memcpy(&out, &bits, sizeof(out));
+  return true;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_expr(const Expr& e) {
+  std::string out;
+  write_expr(out, e);
+  return out;
+}
+
+std::optional<Expr> deserialize_expr(std::string_view text) {
+  Cursor cursor(text);
+  std::optional<Expr> e = read_expr(cursor);
+  if (!e || !cursor.at_end()) return std::nullopt;
+  return e;
+}
+
+std::string serialize_bound(const sdg::MultiStatementBound& bound) {
+  std::string out = "b1 ";
+  write_expr(out, bound.Q_leading);
+  out += ' ';
+  write_expr(out, bound.Q_sdg);
+  out += ' ';
+  write_expr(out, bound.Q_cold);
+  out += ' ';
+  out += std::to_string(bound.subgraphs_evaluated);
+  out += ' ';
+  out += std::to_string(bound.per_array.size());
+  for (const sdg::ArrayBound& a : bound.per_array) {
+    out += ' ';
+    out += a.array;
+    out += ' ';
+    write_expr(out, a.cdag_size);
+    out += ' ';
+    write_expr(out, a.rho);
+    out += ' ';
+    append_double_bits(out, a.rho_value);
+    out += ' ';
+    out += std::to_string(a.best_subgraph.size());
+    for (const std::string& s : a.best_subgraph) {
+      out += ' ';
+      out += s;
+    }
+  }
+  return out;
+}
+
+std::optional<sdg::MultiStatementBound> deserialize_bound(
+    std::string_view text) {
+  Cursor cursor(text);
+  if (cursor.next() != "b1") return std::nullopt;
+  sdg::MultiStatementBound bound;
+  std::optional<Expr> e;
+  if (!(e = read_expr(cursor))) return std::nullopt;
+  bound.Q_leading = *e;
+  if (!(e = read_expr(cursor))) return std::nullopt;
+  bound.Q_sdg = *e;
+  if (!(e = read_expr(cursor))) return std::nullopt;
+  bound.Q_cold = *e;
+  std::uint64_t subgraphs = 0;
+  std::uint64_t narrays = 0;
+  if (!parse_u64(cursor.next(), subgraphs)) return std::nullopt;
+  if (!parse_u64(cursor.next(), narrays)) return std::nullopt;
+  if (narrays > 100000) return std::nullopt;  // sanity bound on torn input
+  bound.subgraphs_evaluated = static_cast<std::size_t>(subgraphs);
+  bound.per_array.reserve(static_cast<std::size_t>(narrays));
+  for (std::uint64_t i = 0; i < narrays; ++i) {
+    sdg::ArrayBound a;
+    const std::string_view name = cursor.next();
+    if (name.empty() || name == "(" || name == ")") return std::nullopt;
+    a.array = std::string(name);
+    if (!(e = read_expr(cursor))) return std::nullopt;
+    a.cdag_size = *e;
+    if (!(e = read_expr(cursor))) return std::nullopt;
+    a.rho = *e;
+    if (!parse_double_bits(cursor.next(), a.rho_value)) return std::nullopt;
+    std::uint64_t nbest = 0;
+    if (!parse_u64(cursor.next(), nbest)) return std::nullopt;
+    if (nbest > 100000) return std::nullopt;
+    a.best_subgraph.reserve(static_cast<std::size_t>(nbest));
+    for (std::uint64_t j = 0; j < nbest; ++j) {
+      const std::string_view stmt = cursor.next();
+      if (stmt.empty() || stmt == "(" || stmt == ")") return std::nullopt;
+      a.best_subgraph.emplace_back(stmt);
+    }
+    bound.per_array.push_back(std::move(a));
+  }
+  if (!cursor.at_end()) return std::nullopt;
+  return bound;
+}
+
+}  // namespace soap::service

@@ -1,0 +1,42 @@
+// Textual round-trip serialization for persisted cache values
+// (docs/SERVING.md, "Persistence format").
+//
+// Expressions serialize as single-line s-expressions over the canonical
+// node structure — `(+ (c 2) (* (s N) (^ (s S) -1/2)))` — with constants
+// as exact rationals, symbols by name, and operands in stored canonical
+// order.  Deserialization rebuilds through the public canonicalizing
+// constructors (make_add/make_mul/pow/min/max), and because the serialized
+// operand lists are already canonical, the rebuilt node is *the same
+// interned node* the original Expr pointed at: the round trip is not just
+// bit-identical but pointer-identical within a process, and bit-identical
+// across processes.
+//
+// A MultiStatementBound serializes as one whitespace-separated token line
+// ("b1 <Q_leading> <Q_sdg> <Q_cold> <subgraphs> <#arrays> ...");
+// rho_value doubles are stored as their IEEE-754 bit pattern in hex so the
+// round trip is exact.  Degraded bounds are never serialized (the cache
+// never stores them).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sdg/multi_statement.hpp"
+#include "symbolic/expr.hpp"
+
+namespace soap::service {
+
+/// Single-line canonical s-expression of `e`.
+std::string serialize_expr(const sym::Expr& e);
+/// Parses serialize_expr output; nullopt on malformed input (never throws
+/// on garbage — persisted files may carry a torn final line).
+std::optional<sym::Expr> deserialize_expr(std::string_view text);
+
+/// Single-line record of a (non-degraded) bound.
+std::string serialize_bound(const sdg::MultiStatementBound& bound);
+/// Parses serialize_bound output; nullopt on malformed input.
+std::optional<sdg::MultiStatementBound> deserialize_bound(
+    std::string_view text);
+
+}  // namespace soap::service

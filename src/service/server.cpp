@@ -1,0 +1,364 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "frontend/lower.hpp"
+#include "kernels/table2.hpp"
+#include "service/analyze.hpp"
+#include "service/json.hpp"
+#include "support/cancel.hpp"
+#include "support/parse.hpp"
+
+namespace soap::service {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream ss(line);
+  std::string token;
+  while (ss >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Per-request option bag parsed from the `k=v` tokens after the command.
+struct RequestOpts {
+  std::string id;
+  std::size_t timeout_ms = 0;
+  std::size_t node_budget = 0;
+  std::optional<std::size_t> max_subgraph_size;
+  std::optional<std::size_t> max_subgraphs;
+  std::string error;  ///< non-empty = malformed request
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+RequestOpts parse_opts(const std::vector<std::string>& tokens,
+                       std::size_t first, std::size_t default_timeout_ms,
+                       std::size_t default_node_budget, bool program_mode) {
+  RequestOpts opts;
+  opts.timeout_ms = default_timeout_ms;
+  opts.node_budget = default_node_budget;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      opts.error = "malformed option '" + token + "' (want k=v)";
+      return opts;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "id") {
+      opts.id = value;
+      continue;
+    }
+    const std::optional<std::size_t> n = support::parse_size_t(value);
+    if (!n) {
+      opts.error = "invalid value for " + key + ": '" + value + "'";
+      return opts;
+    }
+    if (key == "timeout-ms") {
+      opts.timeout_ms = *n;
+    } else if (key == "node-budget") {
+      opts.node_budget = *n;
+    } else if (program_mode && key == "max-subgraph-size") {
+      opts.max_subgraph_size = *n;
+    } else if (program_mode && key == "max-subgraphs") {
+      opts.max_subgraphs = *n;
+    } else {
+      opts.error = "unknown option '" + key + "'";
+      return opts;
+    }
+  }
+  return opts;
+}
+
+std::uint64_t percentile_us(std::vector<std::uint64_t> sorted, int p) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(sorted.size()) * static_cast<std::size_t>(p) /
+          100);
+  return sorted[idx];
+}
+
+}  // namespace
+
+struct Server::Impl {
+  std::mutex mutex;  ///< guards everything below
+  std::condition_variable cv;
+  std::size_t inflight = 0;
+  std::uint64_t next_id = 0;
+  std::unordered_map<std::string, support::CancellationSource> active;
+  std::vector<std::uint64_t> latencies_us;  ///< completed analyze/kernel
+  std::mutex out_mutex;                     ///< whole-line reply writes
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_unique<BoundCache>(options_.cache)),
+      impl_(std::make_unique<Impl>()) {}
+
+Server::~Server() = default;
+
+int Server::serve(std::istream& in, std::ostream& out) {
+  Impl& impl = *impl_;
+
+  const auto write_reply = [&impl, &out](const std::string& reply) {
+    std::lock_guard<std::mutex> lock(impl.out_mutex);
+    out << reply << '\n';
+    out.flush();
+  };
+  const auto drain = [&impl] {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    impl.cv.wait(lock, [&impl] { return impl.inflight == 0; });
+  };
+  const auto error_reply = [](const std::string& id, const char* status,
+                              const std::string& message) {
+    return "{\"id\":" + json_string(id) + ",\"status\":" +
+           json_string(status) + ",\"error\":" + json_string(message) + '}';
+  };
+
+  // The body of one analyze/kernel request; runs on a dispatch thread (or
+  // inline when request_threads <= 1).  `body` is empty for kernel mode.
+  const auto run_request = [this, &impl, &write_reply, &error_reply](
+                               RequestOpts opts, std::string kernel_name,
+                               std::string body,
+                               support::CancellationToken cancel) {
+    const auto start = std::chrono::steady_clock::now();
+    support::StopCriteria stop;
+    stop.cancel = std::move(cancel);
+    if (opts.timeout_ms != 0) {
+      stop.deadline = support::Deadline::after_ms(opts.timeout_ms);
+    }
+    stop.budget.max_live_nodes = opts.node_budget;
+
+    std::string reply;
+    try {
+      if (kernel_name.empty()) {
+        Program program = frontend::parse_program(body);
+        sdg::SdgOptions options;
+        options.threads = options_.analysis_threads;
+        options.executor = options_.executor;
+        options.stop = stop;
+        if (opts.max_subgraph_size) {
+          options.max_subgraph_size = *opts.max_subgraph_size;
+        }
+        if (opts.max_subgraphs) options.max_subgraphs = *opts.max_subgraphs;
+        const ProgramAnalysis analysis =
+            analyze_program_cached(*cache_, program, options);
+        reply = "{\"id\":" + json_string(opts.id);
+        reply += ",\"digest\":" + json_string(analysis.key.digest.hex());
+        reply +=
+            ",\"cache\":" + json_string(cache_outcome_name(analysis.outcome));
+        if (!analysis.bound) {
+          reply +=
+              ",\"status\":\"ok\",\"bound\":null,"
+              "\"note\":\"no non-trivial bound (unlimited reuse)\"";
+        } else {
+          const char* status =
+              analysis.bound->degraded
+                  ? support::status_code_name(analysis.bound->degraded_reason)
+                  : "ok";
+          reply += ",\"status\":" + json_string(status) + ',' +
+                   bound_json_fields(*analysis.bound);
+        }
+        reply += '}';
+      } else {
+        const kernels::KernelEntry* entry = nullptr;
+        try {
+          entry = &kernels::kernel_by_name(kernel_name);
+        } catch (const std::out_of_range&) {
+          reply = error_reply(opts.id, "invalid_input",
+                              "unknown kernel '" + kernel_name + "'");
+        }
+        if (entry != nullptr) {
+          CacheOutcome cache_outcome = CacheOutcome::kMiss;
+          const kernels::KernelOutcome outcome = analyze_kernel_cached(
+              *cache_, *entry, options_.analysis_threads, options_.executor,
+              stop, &cache_outcome);
+          reply = "{\"id\":" + json_string(opts.id) + ",\"cache\":" +
+                  json_string(cache_outcome_name(cache_outcome)) + ',' +
+                  outcome_json(outcome).substr(1);
+        }
+      }
+    } catch (const support::AnalysisError& e) {
+      reply = error_reply(opts.id, support::status_code_name(e.code()),
+                          e.what());
+    } catch (const std::exception& e) {
+      reply = error_reply(opts.id, "internal_error", e.what());
+    }
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start);
+    const std::uint64_t elapsed_us =
+        static_cast<std::uint64_t>(elapsed.count());
+    // Splice the latency into the reply object (it always ends in '}').
+    reply.insert(reply.size() - 1,
+                 ",\"elapsed_us\":" + std::to_string(elapsed_us));
+    write_reply(reply);
+    {
+      std::lock_guard<std::mutex> lock(impl.mutex);
+      impl.active.erase(opts.id);
+      impl.latencies_us.push_back(elapsed_us);
+      --impl.inflight;
+    }
+    impl.cv.notify_all();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& cmd = tokens[0];
+
+    if (cmd == "quit") break;
+
+    if (cmd == "cancel") {
+      if (tokens.size() != 2) {
+        write_reply(error_reply("", "invalid_input", "usage: cancel ID"));
+        continue;
+      }
+      bool delivered = false;
+      {
+        std::lock_guard<std::mutex> lock(impl.mutex);
+        auto it = impl.active.find(tokens[1]);
+        if (it != impl.active.end()) {
+          it->second.request_cancel();
+          delivered = true;
+        }
+      }
+      write_reply("{\"cancel\":" + json_string(tokens[1]) +
+                  ",\"delivered\":" + (delivered ? "true" : "false") + '}');
+      continue;
+    }
+
+    if (cmd == "stats") {
+      RequestOpts opts =
+          parse_opts(tokens, 1, 0, 0, /*program_mode=*/false);
+      if (!opts.ok()) {
+        write_reply(error_reply(opts.id, "invalid_input", opts.error));
+        continue;
+      }
+      drain();  // the reported counters/latencies cover every prior request
+      const BoundCacheStats s = cache_->stats();
+      std::vector<std::uint64_t> latencies;
+      {
+        std::lock_guard<std::mutex> lock(impl.mutex);
+        latencies = impl.latencies_us;
+      }
+      std::string reply = "{\"id\":" + json_string(opts.id);
+      reply += ",\"requests\":" + std::to_string(s.requests());
+      reply += ",\"hits\":" + std::to_string(s.hits);
+      reply += ",\"misses\":" + std::to_string(s.misses);
+      reply += ",\"coalesced\":" + std::to_string(s.coalesced);
+      reply += ",\"evicted\":" + std::to_string(s.evicted);
+      reply += ",\"entries\":" + std::to_string(s.entries);
+      reply += ",\"persisted_loaded\":" + std::to_string(s.persisted_loaded);
+      reply += ",\"hit_rate\":" + json_double(s.hit_rate());
+      reply += ",\"p50_us\":" + std::to_string(percentile_us(latencies, 50));
+      reply += ",\"p99_us\":" + std::to_string(percentile_us(latencies, 99));
+      reply += '}';
+      write_reply(reply);
+      continue;
+    }
+
+    const bool is_analyze = cmd == "analyze";
+    const bool is_kernel = cmd == "kernel";
+    if (!is_analyze && !is_kernel) {
+      write_reply(error_reply("", "invalid_input",
+                              "unknown command '" + cmd + "'"));
+      continue;
+    }
+    if (is_kernel && tokens.size() < 2) {
+      write_reply(error_reply("", "invalid_input",
+                              "usage: kernel NAME [k=v ...]"));
+      continue;
+    }
+    RequestOpts opts = parse_opts(
+        tokens, is_kernel ? 2 : 1, options_.default_timeout_ms,
+        options_.default_node_budget, /*program_mode=*/is_analyze);
+    std::string kernel_name = is_kernel ? tokens[1] : std::string();
+
+    std::string body;
+    if (is_analyze) {
+      // Body lines up to the `end` terminator.  EOF mid-body is a client
+      // error: reply and shut down (the stream is gone).
+      bool terminated = false;
+      std::string body_line;
+      while (std::getline(in, body_line)) {
+        if (!body_line.empty() && body_line.back() == '\r') {
+          body_line.pop_back();
+        }
+        if (body_line == "end") {
+          terminated = true;
+          break;
+        }
+        body += body_line;
+        body += '\n';
+      }
+      if (!terminated) {
+        write_reply(error_reply(opts.id, "invalid_input",
+                                "EOF before `end` terminator"));
+        break;
+      }
+    }
+    if (!opts.ok()) {
+      write_reply(error_reply(opts.id, "invalid_input", opts.error));
+      continue;
+    }
+
+    // Admission: assign an id, register the cancellation source, and wait
+    // for a request slot.  Duplicate in-flight ids are rejected (cancel
+    // would be ambiguous).
+    support::CancellationToken cancel;
+    {
+      std::unique_lock<std::mutex> lock(impl.mutex);
+      if (opts.id.empty()) opts.id = "r" + std::to_string(++impl.next_id);
+      if (impl.active.count(opts.id) != 0) {
+        const std::string id = opts.id;
+        lock.unlock();
+        write_reply(error_reply(id, "invalid_input",
+                                "duplicate in-flight id '" + id + "'"));
+        continue;
+      }
+      const std::size_t slots =
+          options_.request_threads == 0 ? 1 : options_.request_threads;
+      impl.cv.wait(lock, [&impl, slots] { return impl.inflight < slots; });
+      support::CancellationSource source;
+      cancel = source.token();
+      impl.active.emplace(opts.id, std::move(source));
+      ++impl.inflight;
+    }
+    if (options_.request_threads <= 1) {
+      run_request(std::move(opts), std::move(kernel_name), std::move(body),
+                  std::move(cancel));
+    } else {
+      options_.executor.submit(
+          [run_request, opts = std::move(opts),
+           kernel_name = std::move(kernel_name), body = std::move(body),
+           cancel = std::move(cancel)]() mutable {
+            run_request(std::move(opts), std::move(kernel_name),
+                        std::move(body), std::move(cancel));
+          });
+    }
+  }
+  drain();
+  return 0;
+}
+
+}  // namespace soap::service

@@ -1,0 +1,90 @@
+#include "support/digest.hpp"
+
+namespace soap::support {
+
+namespace {
+
+// splitmix64 finalizer: the full-avalanche word scrambler both lanes use.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Digest::hex() const {
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kHexDigits[(hi >> (4 * i)) & 0xf];
+    out[31 - i] = kHexDigits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+std::optional<Digest> Digest::from_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  Digest d;
+  for (int i = 0; i < 16; ++i) {
+    const int h = hex_value(hex[i]);
+    const int l = hex_value(hex[16 + i]);
+    if (h < 0 || l < 0) return std::nullopt;
+    d.hi = (d.hi << 4) | static_cast<std::uint64_t>(h);
+    d.lo = (d.lo << 4) | static_cast<std::uint64_t>(l);
+  }
+  return d;
+}
+
+DigestWriter::DigestWriter()
+    // Distinct fixed lane seeds; never zero so an empty stream still
+    // finishes to a non-null digest.
+    : a_(0x736f617020646967ULL),   // "soap dig"
+      b_(0x657374207631202eULL) {  // "est v1 ."
+}
+
+void DigestWriter::mix_u64(std::uint64_t v) {
+  ++count_;
+  // Cross-feed the lanes so the pair behaves as one 128-bit state: a word
+  // that collides one lane still separates the other.
+  const std::uint64_t m = mix64(v ^ count_);
+  a_ = mix64(a_ ^ m);
+  b_ = mix64(b_ + (m ^ 0x5bf03635d0d8a495ULL) + a_);
+}
+
+void DigestWriter::mix_string(std::string_view s) {
+  mix_u64(0x737472ULL);  // token tag "str"
+  mix_u64(s.size());
+  std::uint64_t word = 0;
+  int shift = 0;
+  for (const char c : s) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c)) << shift;
+    shift += 8;
+    if (shift == 64) {
+      mix_u64(word);
+      word = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) mix_u64(word);
+}
+
+Digest DigestWriter::finish() const {
+  // Finalize a copy so the writer stays usable.
+  Digest d;
+  d.hi = mix64(a_ ^ mix64(b_ ^ count_));
+  d.lo = mix64(b_ + mix64(a_ + count_));
+  if (d.hi == 0 && d.lo == 0) d.lo = 1;  // keep the null digest reserved
+  return d;
+}
+
+}  // namespace soap::support

@@ -1,0 +1,106 @@
+// Stable content digests for the memoized bound cache.
+//
+// The hash-consed symbolic core gives every Expr an O(1) cached hash and a
+// process-wide intern id — but both are *process-local*: the cached hash
+// seeds differ per build and the intern id is handed out in first-creation
+// order, so neither survives a restart or agrees between two servers.  The
+// serving layer (src/service, docs/SERVING.md) needs a key that is a pure
+// function of the canonical *content*, identical across processes, builds,
+// and platforms, so a persisted cache file written by one `analyzed` run is
+// warm in the next.
+//
+// This header supplies the primitives: a 128-bit `Digest` value and a
+// `DigestWriter` that absorbs typed tokens (integers, strings, tags)
+// through a fixed, platform-independent mixing function.  Nothing here
+// knows about Expr or Program — the support layer sits below symbolic — so
+// the bottom-up DAG walk that digests expressions and lowered programs
+// lives in src/service/cache_key.{hpp,cpp}, built on these primitives.
+//
+// Stability contract: the mixing function and the token encodings are part
+// of the persisted-cache format (docs/SERVING.md).  Changing either
+// invalidates every persisted digest, so bump kDigestFormatVersion when
+// you do — stale files then miss cleanly instead of aliasing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace soap::support {
+
+/// Version tag mixed into every cache key (see service/cache_key.cpp); bump
+/// on any change to the mixing function or the token encodings below.
+inline constexpr std::uint64_t kDigestFormatVersion = 1;
+
+/// A 128-bit content digest.  Value type: compare, hash, render as 32 hex
+/// characters, parse back.  The default-constructed digest is the all-zero
+/// "null" digest, never produced by DigestWriter::finish().
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest& a, const Digest& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Digest& a, const Digest& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Digest& a, const Digest& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// 32 lowercase hex characters, hi half first.
+  [[nodiscard]] std::string hex() const;
+  /// Parses exactly 32 hex characters; nullopt on anything else.
+  static std::optional<Digest> from_hex(std::string_view hex);
+};
+
+/// Accumulates typed tokens into a Digest through a fixed 128-bit mixing
+/// function (two lanes of splitmix64-style rounds, cross-fed per word).
+/// The result depends only on the sequence of mix_* calls and their
+/// arguments — never on pointer values, hash seeds, or platform word
+/// order — so equal token streams digest equally in every process.
+///
+/// Each token is length- or tag-prefixed, so adjacent variable-length
+/// tokens cannot alias ("ab","c" vs "a","bc" differ).
+class DigestWriter {
+ public:
+  DigestWriter();
+
+  void mix_u64(std::uint64_t v);
+  /// Two's-complement encoding, sign carried by the full word.
+  void mix_i64(std::int64_t v) { mix_u64(static_cast<std::uint64_t>(v)); }
+  /// One-byte discriminator for sum types (expression kinds, record tags).
+  void mix_tag(std::uint8_t tag) { mix_u64(0xa5a5a5a500000000ULL | tag); }
+  void mix_bool(bool b) { mix_u64(b ? 0x74727565 : 0x66616c73); }
+  /// Length-prefixed bytes, absorbed 8 at a time little-endian (explicitly
+  /// assembled, so big-endian hosts digest identically).
+  void mix_string(std::string_view s);
+  /// Nested digest (e.g. a memoized sub-DAG digest).
+  void mix_digest(const Digest& d) {
+    mix_u64(d.hi);
+    mix_u64(d.lo);
+  }
+
+  /// The digest of everything mixed so far (idempotent; the writer can
+  /// keep absorbing afterwards).
+  [[nodiscard]] Digest finish() const;
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace soap::support
+
+/// Hash support so the cache layers can key unordered containers by Digest
+/// (the digest is already uniformly mixed; the low word suffices).
+template <>
+struct std::hash<soap::support::Digest> {
+  std::size_t operator()(const soap::support::Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
