@@ -1,0 +1,130 @@
+// Internal shared numerics of the bounds/opt backends: the index-compiled
+// problem view, the exact feasibility projection, and the local searches
+// (log-space Nelder-Mead, KKT equalization polish) the shipped backends
+// compose.  Everything here lives in one translation layer so the backends
+// cannot drift apart numerically — the projection a backend optimizes over
+// is by construction the projection the differential harness checks.
+//
+// This header is internal to soap::bounds; the public surface is
+// bounds/opt/backend.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bounds/access_size.hpp"
+#include "bounds/opt/backend.hpp"
+#include "bounds/optimizer.hpp"
+
+namespace soap::bounds::opt {
+
+// Compiled (dense-index) view of the problem for the numeric inner loops:
+// tile variables become vector indices and access terms precompile their
+// per-dimension variable lists, so Nelder-Mead / compass iterations never
+// touch a string-keyed map.  Mirrors AccessTerm::eval's inclusion-exclusion.
+struct CompiledDim {
+  DimSpec::Mode mode = DimSpec::Mode::kProduct;
+  std::vector<std::size_t> vars;
+  double offsets = 0.0;
+};
+
+struct CompiledTerm {
+  TermKind kind = TermKind::kPlain;
+  std::vector<CompiledDim> dims;
+
+  [[nodiscard]] double eval(const std::vector<double>& x) const;
+};
+
+struct Evaluator {
+  const OptimizationProblem& problem;
+  std::vector<CompiledTerm> sum_terms;
+  std::vector<CompiledTerm> single_terms;
+  // Objective monomials as ((var index, degree)..., coeff) pairs.
+  std::vector<std::pair<std::vector<std::pair<std::size_t, int>>, double>>
+      objective;
+
+  explicit Evaluator(const OptimizationProblem& p);
+
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  // Worst constraint utilization g_k(x)/X (>1 means infeasible).
+  [[nodiscard]] double utilization(const std::vector<double>& x,
+                                   double X) const;
+};
+
+// Dense per-variable bound view in tile space.  The default (empty
+// VarBound list) is lo = 1, hi = +inf everywhere, which reproduces the
+// historical clamp-at-1 code path bit-identically: max(1.0, v) == max(lo, v)
+// and the hi test never fires.
+struct BoundsView {
+  std::vector<double> lo;
+  std::vector<double> hi;
+  bool defaulted = true;  ///< every bound is the default [1, inf)
+
+  static BoundsView make(std::size_t n, const std::vector<VarBound>& bounds);
+
+  [[nodiscard]] double clamp(std::size_t i, double v) const {
+    double t = v < lo[i] ? lo[i] : v;
+    if (t > hi[i]) t = hi[i];
+    return t;
+  }
+};
+
+// Largest uniform multiplicative scale m such that scaling every tile by m
+// (clamped into its bound range) stays feasible; constraint terms are
+// monotone non-decreasing in every tile so feasibility is monotone in m.
+double feasible_scale(const Evaluator& ev, const std::vector<double>& x,
+                      double X, const BoundsView& bv);
+
+// Projected objective: log chi after scaling onto the feasible boundary.
+// Returns -1e300 when no feasible scaling exists.  Ticks `guard` once per
+// call (the unit StopCriteria's solver-eval budget counts).
+double projected_objective(const Evaluator& ev, const std::vector<double>& u,
+                           double X, const BoundsView& bv,
+                           EvalGuard* guard = nullptr,
+                           std::vector<double>* tiles_out = nullptr);
+
+// Nelder-Mead in log-space (maximization); dimensions are tiny (<= ~10).
+// Sets *converged (when non-null) to whether the simplex met the spread
+// tolerance within `iters` — the signal the default backend surfaces as
+// kSuccess vs kNoConverge.
+std::vector<double> nelder_mead(const Evaluator& ev, double X,
+                                std::vector<double> start, int iters,
+                                EvalGuard* guard, const BoundsView& bv,
+                                bool* converged = nullptr);
+
+// KKT polish on the sum-constraint boundary: at an interior optimum,
+// r_v = (dF/du_v)/F / (dg/du_v) is equal across variables; iterate
+// multiplicative equalization with projection back onto g = X.  Variables
+// clamped at x >= 1 stay clamped.  Only valid under default bounds (the
+// clamp-at-1 contract is baked into its projection); callers skip it when
+// custom VarBounds are present.
+void kkt_polish(const Evaluator& ev, double X, std::vector<double>* u,
+                EvalGuard* guard, const BoundsView& bv);
+
+// The two historical default seeds every backend appends after the
+// request's seeds: the uniform log(X)/(2n) point and a staggered ramp.
+std::vector<std::vector<double>> default_seeds(std::size_t n, double X);
+
+// One default-pipeline local search (Nelder-Mead then, under default
+// bounds, KKT polish) from `seed`; shared by the nelder_mead and multistart
+// backends so multistart is exactly "the default, from more starts".
+struct SingleStart {
+  std::vector<double> u;
+  double objective = -1e300;
+  bool converged = false;
+};
+SingleStart run_single_start(const Evaluator& ev, double X,
+                             std::vector<double> seed, int iters,
+                             EvalGuard* guard, const BoundsView& bv);
+
+// Folds a backend's best point into a SolveResult: extracts tiles/chi via a
+// final projected evaluation, probes feasibility of the all-lower-bound
+// point for the kInfeasible classification, and applies the
+// kSuccess/kNoConverge rule (finite positive chi + converged search).
+SolveResult finish_solve(const Evaluator& ev, const OptimizationProblem& p,
+                         double X, const std::vector<double>& best_u,
+                         bool converged, EvalGuard* guard,
+                         const BoundsView& bv);
+
+}  // namespace soap::bounds::opt

@@ -1,0 +1,51 @@
+#include "bounds/opt/types.hpp"
+
+namespace soap::bounds::opt {
+
+const char* result_code_name(ResultCode code) noexcept {
+  switch (code) {
+    case ResultCode::kSuccess:
+      return "success";
+    case ResultCode::kStopReached:
+      return "stop_reached";
+    case ResultCode::kNoConverge:
+      return "no_converge";
+    case ResultCode::kInfeasible:
+      return "infeasible";
+  }
+  return "unknown";
+}
+
+const char* backend_name(BackendKind kind) noexcept {
+  switch (kind) {
+    case BackendKind::kNelderMead:
+      return "nelder_mead";
+    case BackendKind::kMultistart:
+      return "multistart";
+    case BackendKind::kSubplex:
+      return "subplex";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> backend_names() {
+  return {"nelder_mead", "multistart", "subplex"};
+}
+
+std::optional<BackendKind> parse_backend_name(const std::string& name,
+                                              std::string* error) {
+  if (name == "nelder_mead") return BackendKind::kNelderMead;
+  if (name == "multistart") return BackendKind::kMultistart;
+  if (name == "subplex") return BackendKind::kSubplex;
+  if (error != nullptr) {
+    std::string valid;
+    for (const std::string& b : backend_names()) {
+      if (!valid.empty()) valid += ", ";
+      valid += b;
+    }
+    *error = "unknown optimizer backend '" + name + "' (valid: " + valid + ")";
+  }
+  return std::nullopt;
+}
+
+}  // namespace soap::bounds::opt

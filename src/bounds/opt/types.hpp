@@ -1,0 +1,77 @@
+// Result codes and backend identifiers of the pluggable numeric-optimizer
+// layer (bounds/opt, docs/OPTIMIZER.md).  Split from backend.hpp so option
+// structs (sdg::SdgOptions, the service cache key) and ChiForm can name a
+// backend or carry a result code without pulling in the problem types.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace soap::bounds::opt {
+
+/// nlopt-style classification of one numeric solve, replacing the
+/// historical bool/throw mix.  Ordered by severity: `worst()` below keeps
+/// the higher value, so a derivation that runs several solves reports its
+/// least healthy one.
+enum class ResultCode : std::uint8_t {
+  /// The search met its convergence tolerance and the optimum is a finite
+  /// positive objective at a feasible point.
+  kSuccess = 0,
+  /// A StopCriteria criterion (deadline, cancellation, solver-eval budget)
+  /// tripped mid-solve.  The backend returns instead of throwing — the
+  /// stashed AnalysisError in SolveResult::stop_error carries the class —
+  /// and derive_chi rethrows it to preserve the PR 8 degradation contract.
+  kStopReached,
+  /// Iteration caps exhausted before the convergence tolerance, or the
+  /// search produced no finite positive objective.  The best point found is
+  /// still returned (it may be essentially the seed); callers decide
+  /// whether a non-converged optimum is usable.
+  kNoConverge,
+  /// No feasible point exists at this budget: even the all-lower-bound
+  /// tile point violates a constraint.
+  kInfeasible,
+};
+
+/// Stable machine-readable name ("success", "stop_reached", ...).
+[[nodiscard]] const char* result_code_name(ResultCode code) noexcept;
+
+/// The smaller code wins on health: kSuccess < kStopReached < kNoConverge
+/// < kInfeasible.  Used to fold several solves into one ChiForm code.
+[[nodiscard]] constexpr ResultCode worst(ResultCode a, ResultCode b) noexcept {
+  return a < b ? b : a;
+}
+
+/// The shipped backends.  The enum (not a string) is what option structs
+/// carry so it can be digested into the service cache key; parse/print via
+/// the helpers below.  All backends agree on the corpus — the `optimizer`
+/// differential suite (tests/test_optimizer_diff.cpp) enforces it.
+enum class BackendKind : std::uint8_t {
+  /// Default: log-space Nelder-Mead with exact feasibility projection and
+  /// KKT polish — the historical solver, bit-identical behind the
+  /// interface.
+  kNelderMead = 0,
+  /// Multistart wrapper: re-seeds the default single-start pipeline from
+  /// deterministically jittered copies of the LP seeds and keeps the best
+  /// feasible optimum.
+  kMultistart,
+  /// Subplex-style coordinate descent (compass search with step halving,
+  /// then KKT polish): an independent second opinion on the same projected
+  /// objective.
+  kSubplex,
+};
+
+/// CLI/display name: "nelder_mead", "multistart", "subplex".
+[[nodiscard]] const char* backend_name(BackendKind kind) noexcept;
+
+/// Strict parse of a backend name; on rejection stores a human-readable
+/// reason (including the list of valid names) into `error` when non-null.
+[[nodiscard]] std::optional<BackendKind> parse_backend_name(
+    const std::string& name, std::string* error = nullptr);
+
+/// All registered backend names, registration order (for usage strings and
+/// the bench sweep).
+[[nodiscard]] std::vector<std::string> backend_names();
+
+}  // namespace soap::bounds::opt

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "bounds/opt/backend.hpp"
 #include "linalg/simplex.hpp"
 #include "support/cancel.hpp"
 
@@ -13,345 +14,24 @@ namespace soap::bounds {
 
 namespace {
 
-// One guard per chi derivation, threaded through every numeric inner loop.
-// Counts projected-objective evaluations against the per-derivation solver
-// budget (single-threaded per subgraph, so which evaluation trips is
-// deterministic) and polls deadline/cancellation every 32 ticks so the poll
-// cost stays invisible next to the evaluation itself.
-struct SolveGuard {
-  const support::StopCriteria* stop = nullptr;
-  std::uint64_t ticks = 0;
-
-  void tick() {
-    if (stop == nullptr) return;
-    ++ticks;
-    const std::size_t cap = stop->budget.max_solver_evals;
-    if (cap != 0 && ticks > cap) {
-      throw support::AnalysisError(
-          support::StatusCode::kBudgetExceeded,
-          "solver evaluation budget exceeded (max=" + std::to_string(cap) +
-              ")");
-    }
-    if ((ticks & 31u) == 0) stop->enforce("numeric optimizer");
+// One solve at budget X through the selected backend.  The backend boundary
+// is exception-free (a StopCriteria trip comes back as kStopReached with the
+// AnalysisError stashed); this layer rethrows it so maximize_subcomputation
+// and derive_chi keep the PR 8 degradation contract — callers see the same
+// AnalysisError at the same evaluation they always did.
+opt::SolveResult solve_through(const opt::OptimizerBackend& be,
+                               const OptimizationProblem& problem, double X,
+                               std::vector<std::vector<double>> seeds,
+                               opt::EvalGuard* guard) {
+  opt::SolveRequest request;
+  request.X = X;
+  request.seeds = std::move(seeds);
+  request.guard = guard;
+  opt::SolveResult result = be.solve(problem, request);
+  if (result.code == opt::ResultCode::kStopReached && result.stop_error) {
+    throw *result.stop_error;
   }
-};
-
-// ---------------------------------------------------------------------------
-// Numeric solve
-// ---------------------------------------------------------------------------
-
-// Compiled (dense-index) view of the problem for the numeric inner loops:
-// tile variables become vector indices and access terms precompile their
-// per-dimension variable lists, so Nelder-Mead / KKT iterations never touch
-// a string-keyed map.  Mirrors AccessTerm::eval's inclusion-exclusion.
-struct CompiledDim {
-  DimSpec::Mode mode = DimSpec::Mode::kProduct;
-  std::vector<std::size_t> vars;
-  double offsets = 0.0;
-};
-
-struct CompiledTerm {
-  TermKind kind = TermKind::kPlain;
-  std::vector<CompiledDim> dims;
-
-  [[nodiscard]] double eval(const std::vector<double>& x) const {
-    // Stack scratch: this runs hundreds of thousands of times per solve
-    // (Nelder-Mead x bisection x terms); combine_access_extents caps n at 20.
-    double e[20];
-    double c[20];
-    const std::size_t n = dims.size();
-    if (n > 20) throw std::logic_error("CompiledTerm::eval: too many dims");
-    for (std::size_t i = 0; i < n; ++i) {
-      const CompiledDim& d = dims[i];
-      // Empty dimensions have extent 1; kMax starts from 0 and takes maxima.
-      double extent = d.vars.empty() ? 1.0
-                      : d.mode == DimSpec::Mode::kMax ? 0.0
-                                                      : 1.0;
-      for (std::size_t v : d.vars) {
-        extent = d.mode == DimSpec::Mode::kMax ? std::max(extent, x[v])
-                                               : extent * x[v];
-      }
-      e[i] = extent;
-      c[i] = d.offsets;
-    }
-    // Same counting rules as AccessTerm::eval, via the shared combiner.
-    return combine_access_extents(kind, e, c, n);
-  }
-};
-
-struct Evaluator {
-  const OptimizationProblem& problem;
-  std::vector<CompiledTerm> sum_terms;
-  std::vector<CompiledTerm> single_terms;
-  // Objective monomials as ((var index, degree)..., coeff) pairs.
-  std::vector<std::pair<std::vector<std::pair<std::size_t, int>>, double>>
-      objective;
-
-  explicit Evaluator(const OptimizationProblem& p) : problem(p) {
-    std::map<std::string, std::size_t> index;
-    for (std::size_t i = 0; i < p.vars.size(); ++i) index[p.vars[i]] = i;
-    auto compile_term = [&index](const AccessTerm& t) {
-      CompiledTerm out;
-      out.kind = t.kind;
-      out.dims.reserve(t.dims.size());
-      for (const DimSpec& d : t.dims) {
-        CompiledDim cd;
-        cd.mode = d.mode;
-        cd.offsets = static_cast<double>(d.offsets);
-        cd.vars.reserve(d.vars.size());
-        for (const std::string& v : d.vars) {
-          auto it = index.find(v);
-          if (it == index.end()) {
-            throw std::out_of_range("AccessTerm::eval: unbound tile " + v);
-          }
-          cd.vars.push_back(it->second);
-        }
-        out.dims.push_back(std::move(cd));
-      }
-      return out;
-    };
-    for (const AccessTerm& t : p.sum_terms) {
-      sum_terms.push_back(compile_term(t));
-    }
-    for (const AccessTerm& t : p.single_terms) {
-      single_terms.push_back(compile_term(t));
-    }
-    for (const ObjectiveMonomial& m : p.effective_objective()) {
-      std::vector<std::pair<std::size_t, int>> degs;
-      degs.reserve(m.degrees.size());
-      for (const auto& [v, d] : m.degrees) degs.emplace_back(index.at(v), d);
-      objective.emplace_back(std::move(degs), m.coeff.to_double());
-    }
-  }
-
-  double objective_value(const std::vector<double>& x) const {
-    double f = 0.0;
-    for (const auto& [degs, coeff] : objective) {
-      double term = coeff;
-      for (const auto& [i, d] : degs) term *= std::pow(x[i], d);
-      f += term;
-    }
-    return f;
-  }
-
-  // Worst constraint utilization g_k(x)/X (>1 means infeasible).
-  double utilization(const std::vector<double>& x, double X) const {
-    double sum = 0.0;
-    for (const CompiledTerm& t : sum_terms) sum += t.eval(x);
-    double u = sum / X;
-    for (const CompiledTerm& t : single_terms) {
-      u = std::max(u, t.eval(x) / X);
-    }
-    return u;
-  }
-};
-
-// Largest uniform multiplicative scale m such that scaling every tile by m
-// (clamped below at 1) stays feasible; constraint terms are monotone
-// non-decreasing in every tile so feasibility is monotone in m.
-double feasible_scale(const Evaluator& ev, const std::vector<double>& x,
-                      double X) {
-  std::vector<double> tiles(x.size());
-  auto feasible = [&](double m) {
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      tiles[i] = std::max(1.0, m * x[i]);
-    }
-    return ev.utilization(tiles, X) <= 1.0;
-  };
-  if (!feasible(1e-12)) return 0.0;
-  double lo = 1e-12, hi = 1.0;
-  while (feasible(hi) && hi < 1e18) {
-    lo = hi;
-    hi *= 4.0;
-  }
-  for (int it = 0; it < 200; ++it) {
-    double mid = 0.5 * (lo + hi);
-    (feasible(mid) ? lo : hi) = mid;
-  }
-  return lo;
-}
-
-// Projected objective: log chi after scaling onto the feasible boundary.
-double projected_objective(const Evaluator& ev, const std::vector<double>& u,
-                           double X, SolveGuard* guard = nullptr,
-                           std::vector<double>* tiles_out = nullptr) {
-  if (guard != nullptr) guard->tick();
-  std::vector<double> x(u.size());
-  for (std::size_t i = 0; i < u.size(); ++i) x[i] = std::exp(u[i]);
-  double m = feasible_scale(ev, x, X);
-  if (m == 0.0) return -1e300;
-  std::vector<double> tiles(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    double xi = std::max(1.0, m * x[i]);
-    tiles[i] = xi;
-    if (tiles_out) (*tiles_out)[i] = xi;
-  }
-  return std::log(ev.objective_value(tiles));
-}
-
-// Nelder-Mead in log-space (maximization); dimensions are tiny (<= ~10).
-std::vector<double> nelder_mead(const Evaluator& ev, double X,
-                                std::vector<double> start, int iters,
-                                SolveGuard* guard) {
-  const std::size_t n = start.size();
-  auto f = [&](const std::vector<double>& u) {
-    return projected_objective(ev, u, X, guard);
-  };
-  std::vector<std::vector<double>> simplex(n + 1, start);
-  for (std::size_t i = 0; i < n; ++i) simplex[i + 1][i] += 0.7;
-  std::vector<double> fv(n + 1);
-  for (std::size_t i = 0; i <= n; ++i) fv[i] = f(simplex[i]);
-
-  for (int it = 0; it < iters; ++it) {
-    std::vector<std::size_t> idx(n + 1);
-    for (std::size_t i = 0; i <= n; ++i) idx[i] = i;
-    std::sort(idx.begin(), idx.end(),
-              [&](std::size_t a, std::size_t b) { return fv[a] > fv[b]; });
-    std::vector<std::vector<double>> sx(n + 1);
-    std::vector<double> sf(n + 1);
-    for (std::size_t i = 0; i <= n; ++i) {
-      sx[i] = simplex[idx[i]];
-      sf[i] = fv[idx[i]];
-    }
-    simplex = std::move(sx);
-    fv = std::move(sf);
-    if (std::fabs(fv[0] - fv[n]) < 1e-13 * (1.0 + std::fabs(fv[0]))) break;
-
-    std::vector<double> centroid(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j] / n;
-    }
-    auto combine = [&](double t) {
-      std::vector<double> p(n);
-      for (std::size_t j = 0; j < n; ++j) {
-        p[j] = centroid[j] + t * (simplex[n][j] - centroid[j]);
-      }
-      return p;
-    };
-    std::vector<double> refl = combine(-1.0);
-    double fr = f(refl);
-    if (fr > fv[0]) {
-      std::vector<double> expd = combine(-2.0);
-      double fe = f(expd);
-      if (fe > fr) {
-        simplex[n] = expd;
-        fv[n] = fe;
-      } else {
-        simplex[n] = refl;
-        fv[n] = fr;
-      }
-    } else if (fr > fv[n - 1]) {
-      simplex[n] = refl;
-      fv[n] = fr;
-    } else {
-      std::vector<double> ctr = combine(0.5);
-      double fc = f(ctr);
-      if (fc > fv[n]) {
-        simplex[n] = ctr;
-        fv[n] = fc;
-      } else {
-        for (std::size_t i = 1; i <= n; ++i) {
-          for (std::size_t j = 0; j < n; ++j) {
-            simplex[i][j] =
-                simplex[0][j] + 0.5 * (simplex[i][j] - simplex[0][j]);
-          }
-          fv[i] = f(simplex[i]);
-        }
-      }
-    }
-  }
-  std::size_t best = 0;
-  for (std::size_t i = 1; i <= n; ++i) {
-    if (fv[i] > fv[best]) best = i;
-  }
-  return simplex[best];
-}
-
-// KKT polish on the sum-constraint boundary: at an interior optimum,
-// r_v = (dF/du_v)/F / (dg/du_v) is equal across variables; iterate
-// multiplicative equalization with projection back onto g = X.  Variables
-// clamped at x >= 1 stay clamped.  Only runs when no minimum-set constraint
-// is active.
-void kkt_polish(const Evaluator& ev, double X, std::vector<double>* u,
-                SolveGuard* guard) {
-  const std::size_t n = u->size();
-  auto tiles_of = [&](const std::vector<double>& uu) {
-    std::vector<double> tiles(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      tiles[i] = std::exp(std::max(0.0, uu[i]));
-    }
-    return tiles;
-  };
-  auto sum_g = [&](const std::vector<double>& uu) {
-    auto tiles = tiles_of(uu);
-    double s = 0.0;
-    for (const CompiledTerm& t : ev.sum_terms) s += t.eval(tiles);
-    return s;
-  };
-  auto singles_ok = [&](const std::vector<double>& uu) {
-    auto tiles = tiles_of(uu);
-    for (const CompiledTerm& t : ev.single_terms) {
-      if (t.eval(tiles) > X * (1.0 + 1e-9)) return false;
-    }
-    return true;
-  };
-  auto project = [&](std::vector<double>* uu) {
-    double lo = -60.0, hi = 60.0;
-    for (int it = 0; it < 100; ++it) {
-      double mid = 0.5 * (lo + hi);
-      std::vector<double> shifted = *uu;
-      for (double& v : shifted) v += mid;
-      (sum_g(shifted) <= X ? lo : hi) = mid;
-    }
-    for (double& v : *uu) v = std::max(0.0, v + lo);
-  };
-
-  std::vector<double> w = *u;
-  project(&w);
-  const double eps = 1e-6;
-  for (int iter = 0; iter < 400; ++iter) {
-    if (guard != nullptr) guard->tick();
-    std::vector<double> r(n);
-    double mean_log = 0.0;
-    int active = 0;
-    double f0 = std::exp(projected_objective(ev, w, X, guard));
-    (void)f0;
-    for (std::size_t i = 0; i < n; ++i) {
-      std::vector<double> up = w, dn = w;
-      up[i] += eps;
-      dn[i] -= eps;
-      double dg = (sum_g(up) - sum_g(dn)) / (2 * eps);
-      double df = (ev.objective_value(tiles_of(up)) -
-                   ev.objective_value(tiles_of(dn))) /
-                  (2 * eps);
-      if (dg <= 0 || df <= 0) {
-        r[i] = 0;
-        continue;
-      }
-      r[i] = df / dg;
-      if (w[i] > 1e-12) {
-        mean_log += std::log(r[i]);
-        ++active;
-      }
-    }
-    if (active == 0) break;
-    mean_log /= active;
-    double step = iter < 100 ? 0.4 : 0.8;
-    bool moved = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (r[i] <= 0) continue;
-      double delta = step * (std::log(r[i]) - mean_log);
-      if (w[i] <= 1e-12 && delta < 0) continue;
-      w[i] = std::max(0.0, w[i] + delta);
-      if (std::fabs(delta) > 1e-13) moved = true;
-    }
-    project(&w);
-    if (!moved) break;
-  }
-  if (!singles_ok(w)) return;
-  double before = projected_objective(ev, *u, X, guard);
-  double after = projected_objective(ev, w, X, guard);
-  if (after >= before - 1e-12) *u = w;
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -372,41 +52,6 @@ std::vector<std::vector<std::string>> all_monomials(
   return out;
 }
 
-NumericOptimum solve_at(const OptimizationProblem& problem, double X,
-                        const std::vector<std::vector<double>>& extra_seeds,
-                        SolveGuard* guard) {
-  Evaluator ev(problem);
-  const std::size_t n = problem.vars.size();
-
-  double best_obj = -1e300;
-  std::vector<double> best_u(n, 0.0);
-  std::vector<std::vector<double>> seeds = extra_seeds;
-  seeds.emplace_back(n, std::log(X) / (2.0 * std::max<std::size_t>(n, 1)));
-  {
-    std::vector<double> staggered(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      staggered[i] = std::log(X) * (0.15 + 0.1 * static_cast<double>(i % 3));
-    }
-    seeds.push_back(std::move(staggered));
-  }
-  for (auto& seed : seeds) {
-    std::vector<double> u = nelder_mead(ev, X, seed, 3000, guard);
-    kkt_polish(ev, X, &u, guard);
-    double obj = projected_objective(ev, u, X, guard);
-    if (obj > best_obj) {
-      best_obj = obj;
-      best_u = u;
-    }
-  }
-
-  NumericOptimum out;
-  std::vector<double> tiles(n);
-  double logf = projected_objective(ev, best_u, X, guard, &tiles);
-  for (std::size_t i = 0; i < n; ++i) out.tiles[problem.vars[i]] = tiles[i];
-  out.chi = std::exp(logf);
-  return out;
-}
-
 // ---------------------------------------------------------------------------
 // Asymptotic geometric program for the exact constant
 // ---------------------------------------------------------------------------
@@ -417,11 +62,14 @@ NumericOptimum solve_at(const OptimizationProblem& problem, double X,
 // over the LP-degree-alpha objective monomials.  max F s.t. h = 1 is solved
 // to machine precision by multiplicative KKT equalization with analytic
 // gradients.  Returns nullopt when the structure is outside this form; the
-// caller then keeps the generic numeric fit.
+// caller then keeps the generic numeric fit.  Backend-independent: whichever
+// backend fit the constant, the GP refinement (and hence the snapped exact
+// value) is the same — the differential harness leans on this.
 std::optional<double> asymptotic_constant(
     const OptimizationProblem& problem,
     const std::map<std::string, Rational>& a, const Rational& alpha,
-    std::map<std::string, double>* kappa_out, SolveGuard* guard = nullptr) {
+    std::map<std::string, double>* kappa_out,
+    opt::EvalGuard* guard = nullptr) {
   const std::size_t n = problem.vars.size();
   std::map<std::string, std::size_t> index;
   for (std::size_t i = 0; i < n; ++i) index[problem.vars[i]] = i;
@@ -566,19 +214,22 @@ std::optional<double> asymptotic_constant(
 
 NumericOptimum maximize_subcomputation(const OptimizationProblem& problem,
                                        double X,
-                                       const support::StopCriteria& stop) {
-  SolveGuard guard;
+                                       const support::StopCriteria& stop,
+                                       opt::BackendKind backend) {
+  opt::EvalGuard guard;
   guard.stop = stop.unlimited() ? nullptr : &stop;
-  return solve_at(problem, X, {}, &guard);
+  return solve_through(opt::backend(backend), problem, X, {}, &guard).optimum;
 }
 
 std::optional<ChiForm> derive_chi(const OptimizationProblem& problem,
-                                  const support::StopCriteria& stop) {
-  SolveGuard guard;
+                                  const support::StopCriteria& stop,
+                                  opt::BackendKind backend) {
+  opt::EvalGuard guard;
   guard.stop = stop.unlimited() ? nullptr : &stop;
   if (guard.stop != nullptr) stop.enforce("chi derivation");
   const std::size_t n = problem.vars.size();
   if (n == 0) return std::nullopt;
+  const opt::OptimizerBackend& be = opt::backend(backend);
 
   // --- exact exponent LP ---
   auto monomials = all_monomials(problem);
@@ -680,8 +331,13 @@ std::optional<ChiForm> derive_chi(const OptimizationProblem& problem,
     }
     return seed;
   };
-  NumericOptimum lo = solve_at(problem, x_lo, {lp_seed(x_lo)}, &guard);
-  NumericOptimum hi = solve_at(problem, x_hi, {lp_seed(x_hi)}, &guard);
+  opt::SolveResult lo_result =
+      solve_through(be, problem, x_lo, {lp_seed(x_lo)}, &guard);
+  opt::SolveResult hi_result =
+      solve_through(be, problem, x_hi, {lp_seed(x_hi)}, &guard);
+  form.solve_code = opt::worst(lo_result.code, hi_result.code);
+  const NumericOptimum& lo = lo_result.optimum;
+  const NumericOptimum& hi = hi_result.optimum;
   if (!std::isfinite(lo.chi) || !std::isfinite(hi.chi) || lo.chi <= 0.0 ||
       hi.chi <= 0.0) {
     // The LP promised a bounded exponent but the numeric fit found no
@@ -689,7 +345,9 @@ std::optional<ChiForm> derive_chi(const OptimizationProblem& problem,
     // letting NaNs flow into the symbolic bound.
     throw support::AnalysisError(
         support::StatusCode::kOptimizerNoConverge,
-        "numeric optimizer produced no finite chi constant");
+        "numeric optimizer produced no finite chi constant (backend=" +
+            std::string(be.name()) +
+            ", code=" + opt::result_code_name(form.solve_code) + ")");
   }
   double alpha_lp = form.alpha.to_double();
   double alpha_fit =

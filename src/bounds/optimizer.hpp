@@ -8,13 +8,15 @@
 // yielding chi(X) = |H_max(X)| and, downstream, the computational intensity
 // rho = chi(X)/(X - S).
 //
-// Strategy (see DESIGN.md): the *exponent* alpha of chi(X) = c * X^alpha is
-// obtained exactly from a rational LP over the dominant monomials of the
-// access terms; the *constant* c is computed by a numeric optimizer in
-// log-space (Nelder-Mead over tile exponents with exact feasibility
-// projection, seeded at the LP solution) and then snapped to an exact value
-// by rationalizing c^q (q = den(alpha)), which recovers radicals such as
-// (1/27)^(1/2) = sqrt(3)/9 for matrix multiplication.  The LP and the
+// Strategy (see DESIGN.md and docs/OPTIMIZER.md): the *exponent* alpha of
+// chi(X) = c * X^alpha is obtained exactly from a rational LP over the
+// dominant monomials of the access terms; the *constant* c is computed by a
+// pluggable numeric backend (bounds/opt: log-space Nelder-Mead with exact
+// feasibility projection by default, seeded at the LP solution; a multistart
+// wrapper and a subplex second opinion ship alongside it and the
+// differential suite keeps them in agreement) and then snapped to an exact
+// value by rationalizing c^q (q = den(alpha)), which recovers radicals such
+// as (1/27)^(1/2) = sqrt(3)/9 for matrix multiplication.  The LP and the
 // numeric fit cross-check each other; disagreement is an error.
 #pragma once
 
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "bounds/access_size.hpp"
+#include "bounds/opt/types.hpp"
 #include "support/cancel.hpp"
 #include "support/rational.hpp"
 #include "symbolic/expr.hpp"
@@ -60,13 +63,15 @@ struct NumericOptimum {
   double chi = 0.0;
 };
 
-/// Numerically maximizes prod x_v subject to the constraints at budget X.
-/// `stop` is polled inside the Nelder-Mead/KKT inner loops (deadline and
-/// cancellation every few dozen objective evaluations; the per-derivation
-/// solver-eval budget on every one) and raises AnalysisError when tripped.
-NumericOptimum maximize_subcomputation(const OptimizationProblem& problem,
-                                       double X,
-                                       const support::StopCriteria& stop = {});
+/// Numerically maximizes prod x_v subject to the constraints at budget X,
+/// through the selected bounds/opt backend (docs/OPTIMIZER.md).  `stop` is
+/// polled inside the backend's inner loops (deadline and cancellation every
+/// few dozen objective evaluations; the per-derivation solver-eval budget on
+/// every one) and raises AnalysisError when tripped.
+NumericOptimum maximize_subcomputation(
+    const OptimizationProblem& problem, double X,
+    const support::StopCriteria& stop = {},
+    opt::BackendKind backend = opt::BackendKind::kNelderMead);
 
 /// Symbolic form of chi(X) ~ coefficient * X^alpha (leading order).
 struct ChiForm {
@@ -77,15 +82,25 @@ struct ChiForm {
   std::map<std::string, Rational> exponents;  ///< a_v: x_v ~ X^{a_v}
   std::map<std::string, double> tile_coeffs;  ///< kappa_v: x_v ~ kappa_v X^{a_v}
   double fit_residual = 0.0;           ///< |log chi - (log c + alpha log X)|
+  /// Least healthy backend result across the constant-fit solves.  Before
+  /// the backend interface, a solve that exhausted its iterations without
+  /// meeting tolerance silently fell through to the LP-seeded point; now it
+  /// is recorded here as kNoConverge (the fit still uses the best point
+  /// found — only a non-finite chi is a hard error).
+  opt::ResultCode solve_code = opt::ResultCode::kSuccess;
 };
 
-/// Derives chi(X).  Returns std::nullopt when the problem is unbounded
-/// (some loop variable occurs in no access: unlimited reuse, no bound).
-/// Throws AnalysisError{kDeadlineExceeded|kBudgetExceeded|kCancelled} when
-/// `stop` trips mid-solve, and AnalysisError{kOptimizerNoConverge} when the
-/// numeric fit produces no finite chi.  Default criteria are unlimited and
-/// keep the inner loops on their historical path.
-std::optional<ChiForm> derive_chi(const OptimizationProblem& problem,
-                                  const support::StopCriteria& stop = {});
+/// Derives chi(X) using the selected numeric backend for the constant (the
+/// exponent LP is exact and backend-independent).  Returns std::nullopt when
+/// the problem is unbounded (some loop variable occurs in no access:
+/// unlimited reuse, no bound).  Throws
+/// AnalysisError{kDeadlineExceeded|kBudgetExceeded|kCancelled} when `stop`
+/// trips mid-solve, and AnalysisError{kOptimizerNoConverge} when the numeric
+/// fit produces no finite chi.  Default criteria are unlimited and keep the
+/// inner loops on their historical path; the default backend is bit-identical
+/// to the pre-interface solver.
+std::optional<ChiForm> derive_chi(
+    const OptimizationProblem& problem, const support::StopCriteria& stop = {},
+    opt::BackendKind backend = opt::BackendKind::kNelderMead);
 
 }  // namespace soap::bounds

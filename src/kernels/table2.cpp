@@ -22,11 +22,13 @@ sym::Expr analyze_kernel(const KernelEntry& entry) {
 }
 
 sym::Expr analyze_kernel(const KernelEntry& entry, std::size_t threads,
-                         support::ExecutorRef executor) {
+                         support::ExecutorRef executor,
+                         std::optional<bounds::opt::BackendKind> optimizer) {
   Program program = entry.build();
   sdg::SdgOptions options = entry.options;
   options.threads = threads;
   options.executor = executor;
+  if (optimizer) options.optimizer = *optimizer;
   auto bound = sdg::multi_statement_bound(program, options);
   if (!bound) {
     throw std::runtime_error("analyze_kernel: no bound for " + entry.name);
@@ -45,7 +47,8 @@ std::vector<sym::Expr> analyze_corpus(std::size_t threads,
 
 std::vector<sym::Expr> analyze_corpus(
     const std::vector<const KernelEntry*>& kernels, std::size_t threads,
-    support::ExecutorRef executor) {
+    support::ExecutorRef executor,
+    std::optional<bounds::opt::BackendKind> optimizer) {
   support::ParallelOptions par;
   par.threads = threads;
   par.executor = executor;
@@ -57,8 +60,9 @@ std::vector<sym::Expr> analyze_corpus(
   // means a starved executor degrades to serial instead of deadlocking,
   // and per-kernel determinism makes the nesting invisible in the output.
   return support::parallel_map<sym::Expr>(
-      kernels.size(), par, [&kernels, threads, executor](std::size_t i) {
-        return analyze_kernel(*kernels[i], threads, executor);
+      kernels.size(), par,
+      [&kernels, threads, executor, optimizer](std::size_t i) {
+        return analyze_kernel(*kernels[i], threads, executor, optimizer);
       });
 }
 
@@ -105,10 +109,10 @@ std::string CorpusReport::failure_summary() const {
   return out;
 }
 
-KernelOutcome analyze_kernel_checked(const KernelEntry& entry,
-                                     std::size_t threads,
-                                     support::ExecutorRef executor,
-                                     const support::StopCriteria& stop) {
+KernelOutcome analyze_kernel_checked(
+    const KernelEntry& entry, std::size_t threads,
+    support::ExecutorRef executor, const support::StopCriteria& stop,
+    std::optional<bounds::opt::BackendKind> optimizer) {
   KernelOutcome out;
   out.kernel = entry.name;
   out.family = entry.family;
@@ -118,6 +122,7 @@ KernelOutcome analyze_kernel_checked(const KernelEntry& entry,
     options.threads = threads;
     options.executor = executor;
     options.stop = stop;
+    if (optimizer) options.optimizer = *optimizer;
     auto bound = sdg::multi_statement_bound(program, options);
     if (!bound) {
       out.status = support::StatusCode::kInvalidInput;
@@ -152,7 +157,8 @@ CorpusReport analyze_corpus_resilient(
   report.kernels = support::parallel_map<KernelOutcome>(
       kernels.size(), par, [&kernels, &options](std::size_t i) {
         return analyze_kernel_checked(*kernels[i], options.threads,
-                                      options.executor, options.stop);
+                                      options.executor, options.stop,
+                                      options.optimizer);
       });
   return report;
 }

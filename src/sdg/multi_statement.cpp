@@ -118,7 +118,8 @@ std::optional<MultiStatementBound> derive_bound(const Program& program,
   auto analyze_one =
       [&](std::vector<std::string>&& arrays) -> std::optional<Evaluated> {
     MergedSubgraph merged = merge_subgraph(sdg, arrays);
-    auto chi = bounds::derive_chi(merged.problem, options.stop);
+    auto chi =
+        bounds::derive_chi(merged.problem, options.stop, options.optimizer);
     // Unbounded intensity: no constraint from this subgraph.
     if (!chi) return std::nullopt;
     bounds::IntensityResult in = bounds::minimize_intensity(*chi);

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bounds/opt/types.hpp"
 #include "bounds/result.hpp"
 #include "sdg/merge.hpp"
 #include "sdg/sdg.hpp"
@@ -69,6 +70,11 @@ struct SdgOptions {
   /// AnalysisError{kCancelled}.  Set false to surface budget trips as
   /// errors.
   bool degrade_on_budget = true;
+  /// Numeric optimizer backend for the per-subgraph chi constant fits
+  /// (bounds/opt, docs/OPTIMIZER.md).  All shipped backends agree on the
+  /// corpus (the differential suite enforces it); the default is the
+  /// historical solver, bit-identical.  Part of the service cache key.
+  bounds::opt::BackendKind optimizer = bounds::opt::BackendKind::kNelderMead;
 };
 
 struct ArrayBound {

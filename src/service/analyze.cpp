@@ -39,12 +39,11 @@ ProgramAnalysis analyze_program_cached(BoundCache& cache,
   return out;
 }
 
-kernels::KernelOutcome analyze_kernel_cached(BoundCache& cache,
-                                             const kernels::KernelEntry& entry,
-                                             std::size_t threads,
-                                             support::ExecutorRef executor,
-                                             const support::StopCriteria& stop,
-                                             CacheOutcome* cache_outcome) {
+kernels::KernelOutcome analyze_kernel_cached(
+    BoundCache& cache, const kernels::KernelEntry& entry, std::size_t threads,
+    support::ExecutorRef executor, const support::StopCriteria& stop,
+    CacheOutcome* cache_outcome,
+    std::optional<bounds::opt::BackendKind> optimizer) {
   kernels::KernelOutcome out;
   out.kernel = entry.name;
   out.family = entry.family;
@@ -54,6 +53,7 @@ kernels::KernelOutcome analyze_kernel_cached(BoundCache& cache,
     options.threads = threads;
     options.executor = executor;
     options.stop = stop;
+    if (optimizer) options.optimizer = *optimizer;
     ProgramAnalysis analysis = analyze_program_cached(cache, program, options);
     if (cache_outcome != nullptr) *cache_outcome = analysis.outcome;
     if (!analysis.bound) {
@@ -89,7 +89,8 @@ kernels::CorpusReport analyze_corpus_cached(
   report.kernels = support::parallel_map<kernels::KernelOutcome>(
       kernels.size(), par, [&cache, &kernels, &options](std::size_t i) {
         return analyze_kernel_cached(cache, *kernels[i], options.threads,
-                                     options.executor, options.stop);
+                                     options.executor, options.stop, nullptr,
+                                     options.optimizer);
       });
   return report;
 }

@@ -174,6 +174,10 @@ CacheKey make_cache_key(const Program& program,
   w.mix_u64(options.max_subgraph_size);
   w.mix_u64(options.max_subgraphs);
   w.mix_bool(options.use_cold_bound);
+  // Backends may legitimately land on different (equally valid) numeric
+  // constants, so a cached bound is only reusable under the backend that
+  // derived it.
+  w.mix_u64(static_cast<std::uint64_t>(options.optimizer));
   return CacheKey{w.finish()};
 }
 

@@ -44,8 +44,11 @@ support::Digest expr_digest(const sym::Expr& e);
 support::Digest program_digest(const Program& program);
 
 /// The bound cache key: program digest x bound-relevant options
-/// (max_subgraph_size, max_subgraphs, use_cold_bound) x digest format
-/// version.  See the header comment for what is excluded and why.
+/// (max_subgraph_size, max_subgraphs, use_cold_bound, optimizer) x digest
+/// format version.  The numeric backend is part of the key because
+/// backends may legitimately derive different (equally sound) constants —
+/// bounds computed under different backends must never alias.  See the
+/// header comment for what is excluded and why.
 struct CacheKey {
   support::Digest digest;
 

@@ -32,7 +32,7 @@ namespace soap::support {
 
 /// Version tag mixed into every cache key (see service/cache_key.cpp); bump
 /// on any change to the mixing function or the token encodings below.
-inline constexpr std::uint64_t kDigestFormatVersion = 1;
+inline constexpr std::uint64_t kDigestFormatVersion = 2;
 
 /// A 128-bit content digest.  Value type: compare, hash, render as 32 hex
 /// characters, parse back.  The default-constructed digest is the all-zero

@@ -1,0 +1,46 @@
+// Deterministic generator of random feasible OptimizationProblems for the
+// optimizer differential harness (tests/test_optimizer_diff.cpp) and any
+// future property test over the bounds/opt backends.
+//
+// Every generated problem is feasible by construction: constraint terms use
+// the paper's counting kinds over tile variables with small offsets, so the
+// all-ones tile point always satisfies every budget at the X values the
+// harness solves at, and variable coverage is guaranteed (term 0 is a dense
+// product over all variables), so derive_chi never hits the unbounded-reuse
+// nullopt path.
+#pragma once
+
+#include <cstdint>
+
+#include "bounds/optimizer.hpp"
+
+namespace soap::testing {
+
+/// xorshift64: tiny, deterministic, and independent of libstdc++'s
+/// distribution implementations (same generator as the soundness fuzzer).
+struct FuzzRng {
+  std::uint64_t state;
+
+  explicit FuzzRng(std::uint64_t seed) : state(seed ? seed : 1) {}
+
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+
+  /// Uniform in [lo, hi], inclusive.
+  int range(int lo, int hi) {
+    return lo +
+           static_cast<int>(next() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+};
+
+/// One random feasible problem: 1-3 tile variables, 1-3 dominator (sum)
+/// terms in the kPlain/kVersioned counting kinds with offsets 0-2, an
+/// optional minimum-set (output) term, and an optional explicit objective
+/// (1-2 monomials, degrees 1-2) instead of the default prod-of-vars.
+bounds::OptimizationProblem random_problem(FuzzRng& rng);
+
+}  // namespace soap::testing

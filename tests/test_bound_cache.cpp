@@ -12,10 +12,12 @@
 #include <thread>
 #include <vector>
 
+#include "bounds/opt/types.hpp"
 #include "frontend/lower.hpp"
 #include "kernels/table2.hpp"
 #include "sdg/multi_statement.hpp"
 #include "service/analyze.hpp"
+#include "service/cache_key.hpp"
 #include "service/bound_cache.hpp"
 #include "service/serialize.hpp"
 #include "support/cancel.hpp"
@@ -307,6 +309,38 @@ TEST(BoundCachePersist, StaleHeaderStartsCold) {
   EXPECT_EQ(cache.stats().persisted_loaded, 0u);
   EXPECT_EQ(cache.size(), 0u);
   std::remove(path.c_str());
+}
+
+// --- Cache key sensitivity --------------------------------------------------
+
+TEST(CacheKeyTest, OptimizerBackendIsPartOfTheKey) {
+  // Bounds derived under different numeric backends may legitimately
+  // differ, so they must never alias in the cache: the backend is keyed,
+  // while thread count (excluded by the determinism contract) is not.
+  const Program program = frontend::parse_program(R"(
+for i in range(N):
+  for j in range(N):
+    for k in range(N):
+      C[i,j] += A[i,k] * B[k,j]
+)");
+  sdg::SdgOptions nelder;
+  nelder.optimizer = bounds::opt::BackendKind::kNelderMead;
+  sdg::SdgOptions multistart = nelder;
+  multistart.optimizer = bounds::opt::BackendKind::kMultistart;
+  sdg::SdgOptions subplex = nelder;
+  subplex.optimizer = bounds::opt::BackendKind::kSubplex;
+  const CacheKey k_nelder = service::make_cache_key(program, nelder);
+  const CacheKey k_multi = service::make_cache_key(program, multistart);
+  const CacheKey k_subplex = service::make_cache_key(program, subplex);
+  EXPECT_NE(k_nelder, k_multi);
+  EXPECT_NE(k_nelder, k_subplex);
+  EXPECT_NE(k_multi, k_subplex);
+  // Deterministic: the same options rebuild the same key...
+  EXPECT_EQ(k_nelder, service::make_cache_key(program, nelder));
+  // ...and excluded fields (threads) still do not perturb it.
+  sdg::SdgOptions threaded = multistart;
+  threaded.threads = 8;
+  EXPECT_EQ(k_multi, service::make_cache_key(program, threaded));
 }
 
 // --- Cached vs uncached parity (the determinism contract) -------------------

@@ -3,8 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "bounds/opt/backend.hpp"
+#include "bounds/opt/types.hpp"
 #include "bounds/single_statement.hpp"
 #include "frontend/lower.hpp"
+#include "support/cancel.hpp"
 
 namespace soap::bounds {
 namespace {
@@ -148,6 +155,180 @@ for t in range(T):
 
 INSTANTIATE_TEST_SUITE_P(Budgets, ChiMonotonicity,
                          ::testing::Values(1e3, 1e4, 1e5, 1e6));
+
+// ---------------------------------------------------------------------------
+// The backend interface (bounds/opt): result codes, the shared feasibility
+// projection, and the surfacing of non-convergence and stop trips.
+// ---------------------------------------------------------------------------
+
+OptimizationProblem gemm_problem() {
+  return problem_of(R"(
+for i in range(N):
+  for j in range(N):
+    for k in range(N):
+      C[i,j] += A[i,k] * B[k,j]
+)");
+}
+
+/// Total budget use of a tile assignment: sum of the sum terms (the
+/// dominator constraint's left-hand side).
+double budget_use(const OptimizationProblem& p,
+                  const std::map<std::string, double>& tiles) {
+  double used = 0.0;
+  for (const AccessTerm& t : p.sum_terms) used += t.eval(tiles);
+  return used;
+}
+
+TEST(ResultCodes, NamesSeverityAndParsing) {
+  using opt::ResultCode;
+  EXPECT_STREQ(opt::result_code_name(ResultCode::kSuccess), "success");
+  EXPECT_STREQ(opt::result_code_name(ResultCode::kStopReached),
+               "stop_reached");
+  EXPECT_STREQ(opt::result_code_name(ResultCode::kNoConverge), "no_converge");
+  EXPECT_STREQ(opt::result_code_name(ResultCode::kInfeasible), "infeasible");
+  // worst() keeps the more severe code regardless of argument order.
+  EXPECT_EQ(opt::worst(ResultCode::kSuccess, ResultCode::kNoConverge),
+            ResultCode::kNoConverge);
+  EXPECT_EQ(opt::worst(ResultCode::kInfeasible, ResultCode::kStopReached),
+            ResultCode::kInfeasible);
+  EXPECT_EQ(opt::worst(ResultCode::kSuccess, ResultCode::kSuccess),
+            ResultCode::kSuccess);
+  // Backend names round-trip through the parser; unknown names fail with a
+  // reason that lists the valid spellings.
+  for (opt::BackendKind kind :
+       {opt::BackendKind::kNelderMead, opt::BackendKind::kMultistart,
+        opt::BackendKind::kSubplex}) {
+    EXPECT_EQ(opt::parse_backend_name(opt::backend_name(kind)), kind);
+    EXPECT_EQ(opt::backend(kind).name(), opt::backend_name(kind));
+  }
+  std::string reason;
+  EXPECT_FALSE(opt::parse_backend_name("bogus", &reason));
+  EXPECT_NE(reason.find("bogus"), std::string::npos);
+  EXPECT_NE(reason.find("nelder_mead"), std::string::npos);
+}
+
+TEST(ProjectFeasible, ProjectedPointSatisfiesEveryConstraint) {
+  OptimizationProblem p = gemm_problem();
+  const double X = 3e4;
+  // A wildly infeasible start: every tile far beyond the budget.
+  std::map<std::string, double> tiles{{"i", 1e12}, {"j", 3e11}, {"k", 7e10}};
+  auto proj = opt::project_feasible(p, tiles, X);
+  ASSERT_TRUE(proj);
+  EXPECT_LE(budget_use(p, *proj), X * (1.0 + 1e-9));
+  for (const AccessTerm& t : p.single_terms) {
+    EXPECT_LE(t.eval(*proj), X * (1.0 + 1e-9));
+  }
+  for (const auto& [var, v] : *proj) {
+    EXPECT_GE(v, 1.0) << var;  // the paper's |D_t| >= 1
+  }
+  // The projection lands on the budget surface, not merely inside it.
+  EXPECT_GE(budget_use(p, *proj), X * (1.0 - 1e-6));
+}
+
+TEST(ProjectFeasible, ReprojectionIsIdempotent) {
+  OptimizationProblem p = gemm_problem();
+  const double X = 1e6;
+  std::map<std::string, double> tiles{{"i", 5e7}, {"j", 5e7}, {"k", 2e3}};
+  auto once = opt::project_feasible(p, tiles, X);
+  ASSERT_TRUE(once);
+  auto twice = opt::project_feasible(p, *once, X);
+  ASSERT_TRUE(twice);
+  for (const auto& [var, v] : *once) {
+    EXPECT_NEAR(twice->at(var), v, 1e-6 * v) << var;
+  }
+}
+
+TEST(ProjectFeasible, HonorsExplicitVarBounds) {
+  OptimizationProblem p = gemm_problem();
+  const double X = 3e4;
+  // Cap every tile at 4: the projection must respect the caps and still
+  // satisfy the budget (the capped point is trivially feasible here).
+  std::vector<opt::VarBound> bounds(3, opt::VarBound{2.0, 4.0});
+  std::map<std::string, double> tiles{{"i", 1e9}, {"j", 1e9}, {"k", 1e9}};
+  auto proj = opt::project_feasible(p, tiles, X, bounds);
+  ASSERT_TRUE(proj);
+  for (const auto& [var, v] : *proj) {
+    EXPECT_GE(v, 2.0) << var;
+    EXPECT_LE(v, 4.0) << var;
+  }
+  EXPECT_LE(budget_use(p, *proj), X * (1.0 + 1e-9));
+}
+
+TEST(ProjectFeasible, InfeasibleProblemReturnsNullopt) {
+  OptimizationProblem p = gemm_problem();
+  // Even the all-lower-bound point blows the budget: no feasible point.
+  std::vector<opt::VarBound> bounds(3, opt::VarBound{1e6, 1e9});
+  std::map<std::string, double> tiles{{"i", 1e6}, {"j", 1e6}, {"k", 1e6}};
+  EXPECT_FALSE(opt::project_feasible(p, tiles, 10.0, bounds));
+}
+
+TEST(ProjectFeasible, MissingTileVariableThrows) {
+  OptimizationProblem p = gemm_problem();
+  std::map<std::string, double> tiles{{"i", 10.0}, {"j", 10.0}};  // no "k"
+  EXPECT_THROW(opt::project_feasible(p, tiles, 1e4), std::out_of_range);
+}
+
+TEST(OptimizerBackend, HealthySolveReportsSuccess) {
+  OptimizationProblem p = gemm_problem();
+  for (opt::BackendKind kind :
+       {opt::BackendKind::kNelderMead, opt::BackendKind::kMultistart,
+        opt::BackendKind::kSubplex}) {
+    opt::SolveRequest request;
+    request.X = 3e4;
+    opt::SolveResult result = opt::backend(kind).solve(p, request);
+    EXPECT_EQ(result.code, opt::ResultCode::kSuccess)
+        << opt::backend_name(kind);
+    EXPECT_GT(result.optimum.chi, 0.0) << opt::backend_name(kind);
+  }
+}
+
+TEST(OptimizerBackend, IterationStarvationSurfacesNoConverge) {
+  // The hostile configuration: one iteration per local search cannot meet
+  // the convergence tolerance.  Before the backend interface this fell
+  // through silently; now every backend reports kNoConverge while still
+  // returning the best point it found.
+  OptimizationProblem p = gemm_problem();
+  for (opt::BackendKind kind :
+       {opt::BackendKind::kNelderMead, opt::BackendKind::kMultistart,
+        opt::BackendKind::kSubplex}) {
+    opt::SolveRequest request;
+    request.X = 3e4;
+    request.max_iterations = 1;
+    opt::SolveResult result = opt::backend(kind).solve(p, request);
+    EXPECT_EQ(result.code, opt::ResultCode::kNoConverge)
+        << opt::backend_name(kind);
+    // The best-so-far point is still populated and feasible.
+    EXPECT_GT(result.optimum.chi, 0.0) << opt::backend_name(kind);
+    EXPECT_LE(budget_use(p, result.optimum.tiles), 3e4 * (1.0 + 1e-6))
+        << opt::backend_name(kind);
+  }
+}
+
+TEST(OptimizerBackend, EvalBudgetSurfacesStopReachedWithoutThrowing) {
+  OptimizationProblem p = gemm_problem();
+  support::StopCriteria stop;
+  stop.budget.max_solver_evals = 10;
+  for (opt::BackendKind kind :
+       {opt::BackendKind::kNelderMead, opt::BackendKind::kMultistart,
+        opt::BackendKind::kSubplex}) {
+    opt::EvalGuard guard{&stop, 0};
+    opt::SolveRequest request;
+    request.X = 3e4;
+    request.guard = &guard;
+    opt::SolveResult result = opt::backend(kind).solve(p, request);
+    EXPECT_EQ(result.code, opt::ResultCode::kStopReached)
+        << opt::backend_name(kind);
+    ASSERT_TRUE(result.stop_error.has_value()) << opt::backend_name(kind);
+    EXPECT_EQ(result.stop_error->code(), support::StatusCode::kBudgetExceeded)
+        << opt::backend_name(kind);
+  }
+}
+
+TEST(DeriveChi, RecordsHealthySolveCode) {
+  auto chi = derive_chi(gemm_problem());
+  ASSERT_TRUE(chi);
+  EXPECT_EQ(chi->solve_code, opt::ResultCode::kSuccess);
+}
 
 }  // namespace
 }  // namespace soap::bounds

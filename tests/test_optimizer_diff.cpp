@@ -1,0 +1,224 @@
+// The optimizer differential harness (docs/OPTIMIZER.md): every numeric
+// backend must agree with the exact-LP exponent and with every other
+// backend's constant — corpus-wide (one problem per statement of every
+// registered kernel) and over a fuzzed stream of generated feasible
+// problems.  Agreement is graded: exponents and LP data are exact and must
+// match bit for bit; a constant both backends snapped must be the same
+// interned expression (pointer identity under hash-consing); an unsnapped
+// constant must match within a small relative tolerance.  Labeled
+// `optimizer` so CI can run the differential suite on its own.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bounds/opt/backend.hpp"
+#include "bounds/opt/types.hpp"
+#include "bounds/optimizer.hpp"
+#include "bounds/single_statement.hpp"
+#include "kernels/table2.hpp"
+#include "problem_fuzz.hpp"
+#include "support/cancel.hpp"
+#include "support/parallel.hpp"
+
+namespace soap::bounds {
+namespace {
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+constexpr opt::BackendKind kBackends[] = {opt::BackendKind::kNelderMead,
+                                          opt::BackendKind::kMultistart,
+                                          opt::BackendKind::kSubplex};
+constexpr std::size_t kBackendCount = 3;
+
+double rel_diff(double a, double b) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) / scale;
+}
+
+/// The graded agreement contract between the reference backend's ChiForm
+/// and another backend's, on the same problem.
+void expect_agreement(const std::string& label, const ChiForm& ref,
+                      const ChiForm& other, double constant_rel_tol) {
+  // The exponent is exact (LP) and backend-independent by construction;
+  // asserting it pins the contract against a backend that would bypass or
+  // re-derive it.
+  EXPECT_EQ(ref.alpha, other.alpha) << label;
+  EXPECT_EQ(ref.exponents, other.exponents) << label;
+  // Every backend's fit must track c * X^alpha, not just the reference's.
+  EXPECT_LT(other.fit_residual, 0.05) << label;
+  EXPECT_NE(other.solve_code, opt::ResultCode::kInfeasible) << label;
+  if (ref.coefficient_exact && other.coefficient_exact) {
+    // Both snapped: under hash-consing, equality is pointer identity — the
+    // strongest agreement statement expressible.
+    EXPECT_EQ(ref.coefficient, other.coefficient)
+        << label << " exact constants differ: " << ref.coefficient.str()
+        << " vs " << other.coefficient.str();
+  } else {
+    EXPECT_EQ(ref.coefficient_exact, other.coefficient_exact)
+        << label << " snap disagreement (c = " << ref.coefficient_num
+        << " vs " << other.coefficient_num << ")";
+    EXPECT_LE(rel_diff(ref.coefficient_num, other.coefficient_num),
+              constant_rel_tol)
+        << label << " c = " << ref.coefficient_num << " vs "
+        << other.coefficient_num;
+  }
+}
+
+/// One problem solved through every backend; derivation errors are
+/// captured as text so the workers stay assertion-free (asserts run on the
+/// main thread) and so an error must reproduce under every backend to pass.
+struct Differential {
+  std::array<std::optional<ChiForm>, kBackendCount> chi;
+  std::array<std::string, kBackendCount> error;
+};
+
+Differential run_all_backends(const OptimizationProblem& problem) {
+  Differential d;
+  for (std::size_t b = 0; b < kBackendCount; ++b) {
+    try {
+      d.chi[b] = derive_chi(problem, {}, kBackends[b]);
+    } catch (const support::AnalysisError& e) {
+      d.error[b] = e.what();
+    }
+  }
+  return d;
+}
+
+void expect_differential_agreement(const std::string& label,
+                                   const Differential& d,
+                                   double constant_rel_tol) {
+  for (std::size_t b = 1; b < kBackendCount; ++b) {
+    const std::string who =
+        label + " [" + std::string(opt::backend_name(kBackends[b])) + "]";
+    EXPECT_EQ(d.error[0], d.error[b]) << who;
+    ASSERT_EQ(d.chi[0].has_value(), d.chi[b].has_value()) << who;
+    if (d.chi[0] && d.chi[b]) {
+      expect_agreement(who, *d.chi[0], *d.chi[b], constant_rel_tol);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry sweep: one problem per statement of every registered kernel.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> corpus_names() {
+  if (kSanitized) {
+    // Sanitizer builds sweep the same representative subset as the
+    // determinism suite (fusion-heavy, stencil, neural, post-paper rows).
+    return {"gemm", "cholesky", "jacobi2d", "atax",   "mvt",
+            "bicg", "gesummv",  "2mm",      "lulesh", "softmax",
+            "horizontal_diffusion", "flash_attention", "spmv_csr"};
+  }
+  std::vector<std::string> names;
+  for (const auto& k : kernels::Registry::instance().kernels()) {
+    names.push_back(k.name);
+  }
+  return names;
+}
+
+class BackendAgreement : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BackendAgreement, EveryStatementProblemAgreesAcrossBackends) {
+  const kernels::KernelEntry& k = kernels::kernel_by_name(GetParam());
+  Program program = k.build();
+  ASSERT_FALSE(program.statements.empty()) << k.name;
+  for (std::size_t si = 0; si < program.statements.size(); ++si) {
+    const OptimizationProblem problem =
+        statement_problem(program.statements[si]);
+    const std::string label =
+        k.name + " statement #" + std::to_string(si) + " (" +
+        program.statements[si].name + ")";
+    // Corpus statements are well-conditioned: a snapped constant must be
+    // the identical interned expression, an unsnapped one near-bitwise.
+    expect_differential_agreement(label, run_all_backends(problem), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, BackendAgreement,
+                         ::testing::ValuesIn(corpus_names()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Fuzz sweep: generated feasible problems, deterministic seeds.
+// ---------------------------------------------------------------------------
+
+struct FuzzOutcome {
+  std::uint64_t seed = 0;
+  Differential diff;
+};
+
+TEST(OptimizerDifferential, FuzzedProblemsAgreeAcrossBackends) {
+  const std::size_t n = kSanitized ? 150 : 1000;
+  support::ParallelOptions popts;
+  popts.threads = 0;  // all hardware threads; results are index-slotted
+  popts.grain = 8;
+  const std::vector<FuzzOutcome> outcomes =
+      support::parallel_map<FuzzOutcome>(n, popts, [](std::size_t i) {
+        FuzzOutcome out;
+        // Fixed base, odd stride: distinct deterministic streams per index.
+        out.seed = 0x0BD1F00DULL + static_cast<std::uint64_t>(i) *
+                                       0x9E3779B97F4A7C15ULL;
+        soap::testing::FuzzRng rng(out.seed);
+        out.diff = run_all_backends(soap::testing::random_problem(rng));
+        return out;
+      });
+  for (const FuzzOutcome& out : outcomes) {
+    const std::string label = "fuzz seed " + std::to_string(out.seed);
+    // Generated problems are feasible by construction; a derivation error
+    // under any backend is a bug, not an agreement question.
+    EXPECT_TRUE(out.diff.error[0].empty())
+        << label << ": " << out.diff.error[0];
+    // Fuzzed constants may legitimately resist snapping, so the numeric
+    // tolerance is looser than the corpus sweep's.
+    expect_differential_agreement(label, out.diff, 1e-2);
+  }
+}
+
+TEST(OptimizerDifferential, FuzzStreamIsDeterministic) {
+  // The harness itself must be reproducible: the same seed builds the same
+  // problem and the same Differential (pointer-identical exact constants).
+  soap::testing::FuzzRng a(0x0BD1F00DULL);
+  soap::testing::FuzzRng b(0x0BD1F00DULL);
+  const OptimizationProblem pa = soap::testing::random_problem(a);
+  const OptimizationProblem pb = soap::testing::random_problem(b);
+  ASSERT_EQ(pa.vars, pb.vars);
+  ASSERT_EQ(pa.sum_terms.size(), pb.sum_terms.size());
+  const Differential da = run_all_backends(pa);
+  const Differential db = run_all_backends(pb);
+  for (std::size_t i = 0; i < kBackendCount; ++i) {
+    ASSERT_EQ(da.chi[i].has_value(), db.chi[i].has_value());
+    if (!da.chi[i]) continue;
+    EXPECT_EQ(da.chi[i]->alpha, db.chi[i]->alpha);
+    EXPECT_EQ(da.chi[i]->coefficient, db.chi[i]->coefficient);
+    // Bit-exact: the numeric pipeline must not depend on run-to-run state.
+    EXPECT_EQ(da.chi[i]->coefficient_num, db.chi[i]->coefficient_num);
+  }
+}
+
+}  // namespace
+}  // namespace soap::bounds

@@ -243,6 +243,35 @@ TEST(SdgDeterminism, FaultInjectionSweepStaysBitIdentical) {
   }
 }
 
+TEST(SdgDeterminism, EveryOptimizerBackendIsDeterministicAcrossThreads) {
+  // The backend contract (docs/OPTIMIZER.md): a backend is a pure function
+  // of (problem, request), so under EVERY backend — including the
+  // stochastic multistart, whose jitter derives only from the request seed
+  // — the full bound must stay bit-identical across thread counts and
+  // injected executors, exactly like the default.
+  support::ThreadPool private_pool(2);
+  for (const char* name : {"gemm", "atax", "softmax"}) {
+    const kernels::KernelEntry& k = kernels::kernel_by_name(name);
+    Program program = k.build();
+    for (bounds::opt::BackendKind backend :
+         {bounds::opt::BackendKind::kNelderMead,
+          bounds::opt::BackendKind::kMultistart,
+          bounds::opt::BackendKind::kSubplex}) {
+      SdgOptions options = k.options;
+      options.optimizer = backend;
+      const std::string label = std::string(name) + " backend " +
+                                bounds::opt::backend_name(backend);
+      Snapshot serial = snapshot(program, options, 1);
+      expect_identical(serial, snapshot(program, options, 8),
+                       label + " @8 threads");
+      SdgOptions with_pool = options;
+      with_pool.executor = support::ExecutorRef(private_pool);
+      expect_identical(serial, snapshot(program, with_pool, 8),
+                       label + " @8 threads, private pool");
+    }
+  }
+}
+
 TEST(SdgDeterminism, RepeatedParallelRunsAreStable) {
   // Same thread count, repeated runs: schedules differ, results must not.
   Program p = frontend::parse_program(R"(
